@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Ablation: active-buffer size. The paper (Sec. III-D) reports that
+ * "making the active buffer bigger than 80 entries has diminishing
+ * returns" — this sweep reproduces the knee.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace nova;
+using namespace nova::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = Options::parse(argc, argv, 2000);
+    printHeader("Ablation", "active-buffer size (BFS, single GPN)",
+                opts);
+
+    std::vector<BenchGraph> graphs;
+    graphs.push_back(prepare(graph::makeTwitter(opts.scale)));
+    graphs.push_back(prepare(graph::makeUrand(opts.scale)));
+
+    std::printf("%-11s %-9s | %-12s %-9s | %-11s %-11s | %s\n", "graph",
+                "entries", "time (ms)", "GTEPS", "spills",
+                "coalesce%", "valid");
+    for (const BenchGraph &bg : graphs) {
+        for (const std::uint32_t entries : {8u, 16u, 40u, 80u, 160u,
+                                            320u}) {
+            core::NovaConfig cfg = novaConfig(opts.scale);
+            cfg.activeBufferEntries = entries;
+            cfg.prefetchThreshold =
+                std::min(cfg.prefetchThreshold, entries / 2);
+            const auto run = runOnNova(cfg, "bfs", bg);
+            std::printf("%-11s %-9u | %-12.3f %-9.2f | %-11.0f %-11.2f "
+                        "| %s\n",
+                        bg.name().c_str(), entries, run.seconds() * 1e3,
+                        run.gteps(), run.result.extra.at("vmu.spills"),
+                        100 * run.result.coalescingRate(),
+                        run.valid ? "ok" : "BAD");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,207 @@
+#include "common.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace nova::bench
+{
+
+using graph::Csr;
+using graph::VertexId;
+using workloads::RunResult;
+
+Options
+Options::parse(int argc, char **argv, double default_scale)
+{
+    Options o;
+    o.scale = default_scale;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--scale=", 8) == 0)
+            o.scale = std::atof(argv[i] + 8);
+        else if (std::strcmp(argv[i], "--quick") == 0)
+            o.quick = true;
+    }
+    if (const char *env = std::getenv("NOVA_BENCH_QUICK");
+        env && env[0] == '1')
+        o.quick = true;
+    if (o.quick)
+        o.scale *= 4;
+    return o;
+}
+
+BenchGraph
+prepare(graph::NamedGraph named)
+{
+    BenchGraph bg;
+    bg.named = std::move(named);
+    bg.sym = graph::symmetrize(bg.named.graph);
+    bg.src = graph::highestDegreeVertex(bg.named.graph);
+    bg.symSrc = graph::highestDegreeVertex(bg.sym);
+    return bg;
+}
+
+std::vector<BenchGraph>
+prepareAll(double scale)
+{
+    std::vector<BenchGraph> all;
+    for (auto &named : graph::paperGraphs(scale))
+        all.push_back(prepare(std::move(named)));
+    return all;
+}
+
+core::NovaConfig
+novaConfig(double scale, std::uint32_t gpns)
+{
+    core::NovaConfig cfg = core::NovaConfig{}.scaled(scale);
+    cfg.numGpns = gpns;
+    return cfg;
+}
+
+baselines::PolyGraphConfig
+pgConfig(double scale)
+{
+    return baselines::PolyGraphConfig{}.scaled(scale);
+}
+
+const std::vector<std::string> &
+allWorkloads()
+{
+    static const std::vector<std::string> list = {"bfs", "sssp", "cc",
+                                                  "pr", "bc"};
+    return list;
+}
+
+namespace
+{
+
+bool
+validateExact(const std::vector<std::uint64_t> &got,
+              const std::vector<std::uint64_t> &want)
+{
+    return got == want;
+}
+
+bool
+validateNear(const std::vector<double> &got,
+             const std::vector<double> &want, double rel, double abs_tol)
+{
+    if (got.size() != want.size())
+        return false;
+    for (std::size_t i = 0; i < got.size(); ++i)
+        if (std::abs(got[i] - want[i]) >
+            abs_tol + rel * std::abs(want[i]))
+            return false;
+    return true;
+}
+
+} // namespace
+
+WorkloadRun
+runWorkload(workloads::GraphEngine &engine, const std::string &workload,
+            const BenchGraph &bg, const graph::VertexMapping &map,
+            const graph::VertexMapping &sym_map)
+{
+    WorkloadRun out;
+    out.workload = workload;
+    namespace ref = workloads::reference;
+
+    if (workload == "bfs") {
+        workloads::BfsProgram prog(bg.src);
+        out.result = engine.run(prog, bg.g(), map);
+        out.valid = validateExact(out.result.props,
+                                  ref::bfsDepths(bg.g(), bg.src));
+        out.usefulEdges = ref::sequentialEdgeWork(bg.g(), bg.src);
+    } else if (workload == "sssp") {
+        workloads::SsspProgram prog(bg.src);
+        out.result = engine.run(prog, bg.g(), map);
+        out.valid = validateExact(out.result.props,
+                                  ref::ssspDistances(bg.g(), bg.src));
+        out.usefulEdges = ref::sequentialEdgeWork(bg.g(), bg.src);
+    } else if (workload == "cc") {
+        workloads::CcProgram prog;
+        out.result = engine.run(prog, bg.sym, sym_map);
+        out.valid =
+            validateExact(out.result.props, ref::ccLabels(bg.sym));
+        out.usefulEdges = bg.sym.numEdges();
+    } else if (workload == "pr") {
+        workloads::PageRankProgram prog(prDamping, prTolerance,
+                                        prIterations);
+        out.result = engine.run(prog, bg.g(), map);
+        out.valid = validateNear(
+            prog.rank(),
+            ref::pagerankDelta(bg.g(), prDamping, prTolerance,
+                               prIterations),
+            1e-4, 1e-10);
+        out.usefulEdges = out.result.messagesGenerated;
+    } else if (workload == "bc") {
+        const auto bc = workloads::runBc(engine, bg.sym, sym_map,
+                                         bg.symSrc);
+        out.result = bc.forward;
+        out.result.ticks = bc.totalTicks();
+        out.result.messagesGenerated = bc.totalEdgesTraversed();
+        out.result.messagesProcessed = bc.forward.messagesProcessed +
+                                       bc.backward.messagesProcessed;
+        out.result.coalescedUpdates = bc.forward.coalescedUpdates +
+                                      bc.backward.coalescedUpdates;
+        for (const auto &[k, v] : bc.backward.extra)
+            out.result.extra["bwd." + k] = v;
+        out.valid = validateNear(bc.centrality,
+                                 ref::bcDependencies(bg.sym, bg.symSrc),
+                                 1e-2, 1e-4);
+        out.usefulEdges = out.result.messagesGenerated;
+    } else {
+        sim::fatal("unknown workload '", workload, "'");
+    }
+    return out;
+}
+
+WorkloadRun
+runOnNova(const core::NovaConfig &cfg, const std::string &workload,
+          const BenchGraph &bg, std::uint64_t map_seed)
+{
+    core::NovaSystem nova(cfg);
+    const auto map = graph::randomMapping(bg.g().numVertices(),
+                                          cfg.totalPes(), map_seed);
+    const auto sym_map = graph::randomMapping(bg.sym.numVertices(),
+                                              cfg.totalPes(), map_seed);
+    return runWorkload(nova, workload, bg, map, sym_map);
+}
+
+WorkloadRun
+runOnPolyGraph(const baselines::PolyGraphConfig &cfg,
+               const std::string &workload, const BenchGraph &bg)
+{
+    baselines::PolyGraphModel pg(cfg);
+    const auto map =
+        graph::VertexMapping::interleave(bg.g().numVertices(), 1);
+    const auto sym_map =
+        graph::VertexMapping::interleave(bg.sym.numVertices(), 1);
+    return runWorkload(pg, workload, bg, map, sym_map);
+}
+
+WorkloadRun
+runOnLigra(const std::string &workload, const BenchGraph &bg)
+{
+    baselines::LigraEngine ligra;
+    const auto map =
+        graph::VertexMapping::interleave(bg.g().numVertices(), 1);
+    const auto sym_map =
+        graph::VertexMapping::interleave(bg.sym.numVertices(), 1);
+    return runWorkload(ligra, workload, bg, map, sym_map);
+}
+
+void
+printHeader(const std::string &experiment, const std::string &title,
+            const Options &opts)
+{
+    std::printf("==================================================="
+                "=========================\n");
+    std::printf("%s: %s\n", experiment.c_str(), title.c_str());
+    std::printf("scale 1/%.0f of the paper's inputs; on-chip capacities"
+                " scaled equally\n", opts.scale);
+    std::printf("==================================================="
+                "=========================\n");
+}
+
+} // namespace nova::bench

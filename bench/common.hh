@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Shared infrastructure for the figure/table reproduction benches:
+ * option parsing, engine construction at the experiment scale,
+ * workload execution with functional validation against the
+ * sequential references, and table printing.
+ *
+ * Every bench accepts:
+ *   --scale=<S>   scale denominator for graphs and on-chip capacities
+ *   --quick       use a larger scale (faster, coarser)
+ * and validates every simulated result against the reference.
+ */
+
+#ifndef NOVA_BENCH_COMMON_HH
+#define NOVA_BENCH_COMMON_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/ligra.hh"
+#include "baselines/polygraph.hh"
+#include "core/system.hh"
+#include "graph/graph_stats.hh"
+#include "graph/partition.hh"
+#include "graph/presets.hh"
+#include "workloads/bc.hh"
+#include "workloads/engine.hh"
+#include "workloads/programs.hh"
+#include "workloads/reference.hh"
+
+namespace nova::bench
+{
+
+/** PageRank parameters used consistently across engines and refs. */
+constexpr double prDamping = 0.85;
+constexpr double prTolerance = 1e-7;
+constexpr std::uint64_t prIterations = 5;
+
+/** Parsed command-line options. */
+struct Options
+{
+    double scale = 1000.0;
+    bool quick = false;
+
+    /** Parse argv; `default_scale` is the bench's preferred scale. */
+    static Options parse(int argc, char **argv, double default_scale);
+};
+
+/** A prepared input: the graph, its symmetric closure and a source. */
+struct BenchGraph
+{
+    graph::NamedGraph named;
+    graph::Csr sym;
+    graph::VertexId src = 0;
+    graph::VertexId symSrc = 0;
+
+    const graph::Csr &g() const { return named.graph; }
+    const std::string &name() const { return named.name; }
+};
+
+/** Symmetrize and pick sources for a preset graph. */
+BenchGraph prepare(graph::NamedGraph named);
+
+/** All five Table III graphs, prepared, in paper order. */
+std::vector<BenchGraph> prepareAll(double scale);
+
+/** A NOVA system at the experiment scale. */
+core::NovaConfig novaConfig(double scale, std::uint32_t gpns = 1);
+
+/** A PolyGraph baseline at the experiment scale (iso-bandwidth). */
+baselines::PolyGraphConfig pgConfig(double scale);
+
+/** The five paper workloads, in Fig. 4 order. */
+const std::vector<std::string> &allWorkloads();
+
+/** Outcome of one (engine, workload, graph) execution. */
+struct WorkloadRun
+{
+    std::string workload;
+    workloads::RunResult result;
+    /** Functional output matches the sequential reference. */
+    bool valid = false;
+    /** Edges a work-optimal execution would traverse. */
+    std::uint64_t usefulEdges = 0;
+
+    double
+    workEfficiency() const
+    {
+        return result.messagesGenerated == 0
+                   ? 1.0
+                   : static_cast<double>(usefulEdges) /
+                         static_cast<double>(result.messagesGenerated);
+    }
+
+    double seconds() const { return result.seconds(); }
+    double gteps() const { return result.gteps(); }
+};
+
+/**
+ * Run one workload ("bfs", "sssp", "cc", "pr", "bc") on an engine and
+ * validate the result. CC and BC run on the symmetric closure. BC
+ * combines its forward and backward passes.
+ */
+WorkloadRun runWorkload(workloads::GraphEngine &engine,
+                        const std::string &workload, const BenchGraph &bg,
+                        const graph::VertexMapping &map,
+                        const graph::VertexMapping &sym_map);
+
+/** Convenience: build maps and run on a freshly-built NOVA system. */
+WorkloadRun runOnNova(const core::NovaConfig &cfg,
+                      const std::string &workload, const BenchGraph &bg,
+                      std::uint64_t map_seed = 1);
+
+/** Convenience: run on the PolyGraph model. */
+WorkloadRun runOnPolyGraph(const baselines::PolyGraphConfig &cfg,
+                           const std::string &workload,
+                           const BenchGraph &bg);
+
+/** Convenience: run on the Ligra-like software engine. */
+WorkloadRun runOnLigra(const std::string &workload, const BenchGraph &bg);
+
+/** Print the bench banner. */
+void printHeader(const std::string &experiment, const std::string &title,
+                 const Options &opts);
+
+} // namespace nova::bench
+
+#endif // NOVA_BENCH_COMMON_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 1: system throughput (GTEPS) vs. graph size for NOVA and
+ * PolyGraph at iso-resources (1.5 MiB-equivalent on-chip for NOVA,
+ * 32 MiB-equivalent for PolyGraph, 332.8 GB/s per node), BFS on a
+ * family of uniform random graphs.
+ *
+ * Paper shape: PolyGraph is faster on small graphs but its throughput
+ * falls as slices multiply; NOVA stays roughly flat.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "graph/generators.hh"
+
+using namespace nova;
+using namespace nova::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = Options::parse(argc, argv, 1000);
+    printHeader("Figure 1", "throughput vs. graph size (BFS, NOVA vs "
+                            "PolyGraph, iso-bandwidth)", opts);
+
+    // Paper x-axis: ~8M to 134M vertices, uniform random, avg deg ~31.
+    const std::uint64_t paper_sizes[] = {
+        8'400'000, 16'800'000, 33'600'000, 67'100'000, 134'200'000};
+
+    std::printf("%-14s %-10s %-8s | %-10s %-10s | %-10s %-8s\n",
+                "paperVerts", "verts", "edges", "NOVA GTEPS",
+                "PG GTEPS", "PG slices", "valid");
+    for (const std::uint64_t paper_v : paper_sizes) {
+        graph::UniformParams p;
+        p.numVertices = static_cast<graph::VertexId>(
+            static_cast<double>(paper_v) / opts.scale);
+        p.numEdges = static_cast<graph::EdgeId>(p.numVertices) * 31;
+        p.maxWeight = 255;
+        p.seed = paper_v;
+        graph::NamedGraph named{"urand" + std::to_string(paper_v),
+                                paper_v, paper_v * 31,
+                                graph::generateUniform(p)};
+        const BenchGraph bg = prepare(std::move(named));
+
+        const auto nova_run =
+            runOnNova(novaConfig(opts.scale), "bfs", bg);
+        const auto pg_run = runOnPolyGraph(pgConfig(opts.scale), "bfs",
+                                           bg);
+        std::printf("%-14llu %-10u %-8llu | %-10.2f %-10.2f | %-10.0f "
+                    "%s%s\n",
+                    static_cast<unsigned long long>(paper_v),
+                    bg.g().numVertices(),
+                    static_cast<unsigned long long>(bg.g().numEdges()),
+                    nova_run.gteps(), pg_run.gteps(),
+                    pg_run.result.extra.at("pg.numSlices"),
+                    nova_run.valid ? "nova:ok " : "nova:BAD ",
+                    pg_run.valid ? "pg:ok" : "pg:BAD");
+    }
+    return 0;
+}

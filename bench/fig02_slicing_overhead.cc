@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 2: PolyGraph execution-time breakdown (processing /
+ * inefficiency / switching) as the number of temporal slices grows,
+ * BFS on the Twitter-equivalent graph.
+ *
+ * Paper shape: overheads are ~20% below 3 slices and dominate (>75%)
+ * by hundreds of slices.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace nova;
+using namespace nova::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = Options::parse(argc, argv, 1000);
+    printHeader("Figure 2",
+                "temporal-partitioning overhead vs. #slices "
+                "(PolyGraph, BFS on Twitter-equivalent)", opts);
+
+    const BenchGraph bg = prepare(graph::makeTwitter(opts.scale));
+
+    std::printf("%-8s %-12s | %-8s %-8s %-8s | %-10s %s\n", "slices",
+                "sliceVerts", "proc%", "ineff%", "switch%", "GTEPS",
+                "valid");
+    for (const std::uint32_t slices :
+         {1u, 2u, 3u, 5u, 8u, 16u, 32u, 64u, 128u, 318u}) {
+        baselines::PolyGraphConfig cfg = pgConfig(opts.scale);
+        cfg.forcedSlices = slices;
+        const auto run = runOnPolyGraph(cfg, "bfs", bg);
+        const double proc = run.result.extra.at("pg.processingTicks");
+        const double ineff = run.result.extra.at("pg.inefficiencyTicks");
+        const double sw = run.result.extra.at("pg.switchingTicks");
+        const double tot = proc + ineff + sw;
+        std::printf("%-8u %-12u | %-8.1f %-8.1f %-8.1f | %-10.2f %s\n",
+                    slices, bg.g().numVertices() / slices,
+                    100 * proc / tot, 100 * ineff / tot, 100 * sw / tot,
+                    run.gteps(), run.valid ? "ok" : "BAD");
+    }
+    return 0;
+}

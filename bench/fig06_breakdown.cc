@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 6: execution-time breakdown, NOVA vs. PolyGraph (BFS).
+ *
+ * NOVA's overhead is time spent reading inactive vertices while
+ * searching for active ones (overfetch); PolyGraph's is slice
+ * switching plus redundant re-processing. Paper shape: PolyGraph's
+ * processing is faster, but its overheads grow with graph size until
+ * they dominate.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace nova;
+using namespace nova::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = Options::parse(argc, argv, 2000);
+    printHeader("Figure 6",
+                "execution-time breakdown, NOVA vs PolyGraph (BFS)",
+                opts);
+
+    std::printf("%-11s | %-11s %-11s | %-11s %-11s | %s\n", "graph",
+                "NOVA proc%", "NOVA ovh%", "PG proc%", "PG ovh%",
+                "valid");
+    for (const BenchGraph &bg : prepareAll(opts.scale)) {
+        const auto nova_run = runOnNova(novaConfig(opts.scale), "bfs",
+                                        bg);
+        const auto pg_run = runOnPolyGraph(pgConfig(opts.scale), "bfs",
+                                           bg);
+
+        // NOVA overfetch share: wasteful vertex-memory bytes over all
+        // vertex-memory traffic.
+        const auto &ex = nova_run.result.extra;
+        const double vertex_bytes = ex.at("vertexMem.bytesRead") +
+                                    ex.at("vertexMem.bytesWritten");
+        const double nova_ovh =
+            vertex_bytes > 0
+                ? ex.at("vertexMem.wastefulPrefetchBytes") / vertex_bytes
+                : 0;
+
+        const auto &px = pg_run.result.extra;
+        const double pg_total = px.at("pg.processingTicks") +
+                                px.at("pg.inefficiencyTicks") +
+                                px.at("pg.switchingTicks");
+        const double pg_ovh = (px.at("pg.inefficiencyTicks") +
+                               px.at("pg.switchingTicks")) /
+                              pg_total;
+
+        std::printf("%-11s | %-11.1f %-11.1f | %-11.1f %-11.1f | %s%s\n",
+                    bg.name().c_str(), 100 * (1 - nova_ovh),
+                    100 * nova_ovh, 100 * (1 - pg_ovh), 100 * pg_ovh,
+                    nova_run.valid ? "n:ok " : "n:BAD ",
+                    pg_run.valid ? "p:ok" : "p:BAD");
+    }
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 8: weak scaling — RMAT21..24 equivalents on 1/2/4/8 GPNs
+ * (fixed problem size per node), BFS.
+ *
+ * Paper shape: execution time stays roughly constant as GPNs and
+ * graph double together (ideal weak scaling = flat).
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace nova;
+using namespace nova::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = Options::parse(argc, argv, 1000);
+    printHeader("Figure 8",
+                "weak scaling (RMAT21-24 equivalents, BFS)", opts);
+
+    std::printf("%-9s %-6s | %-9s %-11s | %-12s %-10s | %s\n", "graph",
+                "GPNs", "verts", "edges", "time (ms)", "norm", "valid");
+    double base_ms = 0;
+    const int exps[] = {21, 22, 23, 24};
+    const std::uint32_t gpns_per[] = {1, 2, 4, 8};
+    for (int i = 0; i < 4; ++i) {
+        const BenchGraph bg =
+            prepare(graph::makeRmatN(exps[i], opts.scale));
+        const auto run =
+            runOnNova(novaConfig(opts.scale, gpns_per[i]), "bfs", bg);
+        const double ms = run.seconds() * 1e3;
+        if (i == 0)
+            base_ms = ms;
+        std::printf("%-9s %-6u | %-9u %-11llu | %-12.3f %-10.2f | %s\n",
+                    bg.name().c_str(), gpns_per[i],
+                    bg.g().numVertices(),
+                    static_cast<unsigned long long>(bg.g().numEdges()),
+                    ms, base_ms > 0 ? ms / base_ms : 0,
+                    run.valid ? "ok" : "BAD");
+    }
+    std::printf("\nnorm = time / time(1 GPN); 1.0 everywhere is ideal "
+                "weak scaling.\n");
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 9c: sensitivity to the interconnect fabric (8-GPN system):
+ * the proposed hierarchical fabric (intra-GPN point-to-point links +
+ * inter-GPN crossbar) vs. an ideal infinite-bandwidth network.
+ *
+ * Paper shape: the hierarchical fabric performs like the ideal one —
+ * the crossbar is not a bottleneck.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace nova;
+using namespace nova::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = Options::parse(argc, argv, 2000);
+    printHeader("Figure 9c",
+                "sensitivity to fabric topology (8 GPNs, BFS)", opts);
+
+    std::printf("%-11s %-14s | %-12s %-9s %-12s | %s\n", "graph",
+                "fabric", "time (ms)", "GTEPS", "avgLat (ns)", "valid");
+    for (BenchGraph &bg : prepareAll(opts.scale)) {
+        for (const auto kind : {noc::FabricKind::Hierarchical,
+                                noc::FabricKind::Ideal}) {
+            core::NovaConfig cfg = novaConfig(opts.scale, 8);
+            cfg.fabric = kind;
+            const auto run = runOnNova(cfg, "bfs", bg);
+            std::printf("%-11s %-14s | %-12.3f %-9.2f %-12.1f | %s\n",
+                        bg.name().c_str(),
+                        kind == noc::FabricKind::Ideal ? "ideal-p2p"
+                                                       : "hierarchical",
+                        run.seconds() * 1e3, run.gteps(),
+                        run.result.extra.at("net.avgLatency") / 1000.0,
+                        run.valid ? "ok" : "BAD");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 10: vertex-memory bandwidth breakdown (useful reads, writes,
+ * wasteful reads) against the tracker-module size (superblock_dim in
+ * {32, 64, 128, 256} -> 3 MiB..576 KiB per GPN by Eq. 1-2), for BFS
+ * and PR on RoadUSA- and Twitter-equivalents.
+ *
+ * Paper shape: the breakdown is insensitive to the tracker size;
+ * sparse-frontier workloads on high-diameter graphs (RoadUSA BFS)
+ * waste the most bandwidth; dense frontiers (PR) waste little.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace nova;
+using namespace nova::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = Options::parse(argc, argv, 2000);
+    printHeader("Figure 10",
+                "vertex-memory bandwidth breakdown vs tracker size",
+                opts);
+
+    std::vector<BenchGraph> graphs;
+    graphs.push_back(prepare(graph::makeRoadUsa(opts.scale)));
+    graphs.push_back(prepare(graph::makeTwitter(opts.scale)));
+
+    std::printf("%-11s %-4s %-7s %-12s | %-9s %-8s %-9s | %s\n",
+                "graph", "wl", "sbDim", "trackerGPN", "useful%",
+                "write%", "wasteful%", "valid");
+    for (const BenchGraph &bg : graphs) {
+        for (const std::string wl : {"bfs", "pr"}) {
+            for (const std::uint32_t dim : {32u, 64u, 128u, 256u}) {
+                core::NovaConfig cfg = novaConfig(opts.scale);
+                cfg.superblockDim = dim;
+                const auto run = runOnNova(cfg, wl, bg);
+                const auto &ex = run.result.extra;
+                const double wasted =
+                    ex.at("vertexMem.wastefulPrefetchBytes");
+                const double written =
+                    ex.at("vertexMem.bytesWritten");
+                const double read = ex.at("vertexMem.bytesRead");
+                const double useful_read = read - wasted;
+                const double total = read + written;
+                // Tracker capacity by Eq. 1-2 at full (unscaled) HBM
+                // capacity, as the paper reports it.
+                core::NovaConfig paper_cfg;
+                paper_cfg.superblockDim = dim;
+                const double tracker_mib =
+                    static_cast<double>(paper_cfg.trackerBitsPerGpn()) /
+                    8.0 / (1 << 20);
+                std::printf("%-11s %-4s %-7u %-9.2fMiB | %-9.1f %-8.1f "
+                            "%-9.1f | %s\n",
+                            bg.name().c_str(), wl.c_str(), dim,
+                            tracker_mib, 100 * useful_read / total,
+                            100 * written / total, 100 * wasted / total,
+                            run.valid ? "ok" : "BAD");
+            }
+        }
+    }
+    return 0;
+}

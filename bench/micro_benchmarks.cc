@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulation substrates:
+ * event-queue throughput, DRAM-channel service rate, cache hit path
+ * and graph generation. These guard the simulator's own performance
+ * (wall-clock per simulated event), not the modelled system's.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+
+using namespace nova;
+
+namespace
+{
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        std::uint64_t sink = 0;
+        for (int i = 0; i < 1024; ++i)
+            eq.schedule(static_cast<sim::Tick>(i * 100),
+                        [&sink, i] { sink += i; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_DramRandomAccess(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        mem::DramChannel ch("ch", eq, mem::DramTiming::hbm2Channel());
+        sim::Rng rng(7);
+        std::uint64_t done = 0;
+        std::uint64_t issued = 0;
+        std::function<void()> pump = [&] {
+            while (issued < 4096 &&
+                   ch.tryAccess(rng.next() % (1 << 26), false,
+                                [&done] { ++done; }))
+                ++issued;
+            if (issued < 4096)
+                ch.waitForSpace([&] { pump(); });
+        };
+        pump();
+        eq.run();
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_DramRandomAccess);
+
+void
+BM_CacheHitPath(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        mem::MemorySystem mem("mem", eq, mem::DramTiming::hbm2Channel(),
+                              1);
+        mem::CacheConfig cfg;
+        cfg.sizeBytes = 4096;
+        mem::DirectMappedCache cache("cache", eq, cfg, mem);
+        std::uint64_t done = 0;
+        for (int round = 0; round < 8; ++round)
+            for (sim::Addr a = 0; a < 4096; a += 32)
+                cache.access(a, round & 1, [&done] { ++done; });
+        eq.run();
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(state.iterations() * 8 * 128);
+}
+BENCHMARK(BM_CacheHitPath);
+
+void
+BM_RmatGeneration(benchmark::State &state)
+{
+    graph::RmatParams p;
+    p.numVertices = 1 << 14;
+    p.numEdges = 1 << 17;
+    for (auto _ : state) {
+        p.seed++;
+        auto g = graph::generateRmat(p);
+        benchmark::DoNotOptimize(g.numEdges());
+    }
+    state.SetItemsProcessed(state.iterations() * p.numEdges);
+}
+BENCHMARK(BM_RmatGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Tera-scale projection (Sec. VI-E's narrative): combine the
+ * analytical sizing of Table IV with the *measured* per-GPN throughput
+ * of the cycle model to project the time NOVA would need to run BFS
+ * over the full WDC12 graph — the workflow behind the paper's claim
+ * that NOVA "charts the path toward tera-scale graph analytics".
+ */
+
+#include <cstdio>
+
+#include "analytic/scaling.hh"
+#include "common.hh"
+
+using namespace nova;
+using namespace nova::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = Options::parse(argc, argv, 2000);
+    printHeader("Projection",
+                "WDC12 BFS time from measured per-GPN throughput",
+                opts);
+
+    // 1. Measure sustained per-GPN BFS throughput on the largest
+    //    scaled input (near-flat in graph size per Figs. 1/4).
+    const BenchGraph bg = prepare(graph::makeUrand(opts.scale));
+    const auto run = runOnNova(novaConfig(opts.scale), "bfs", bg);
+    const double gteps_per_gpn = run.gteps();
+
+    // 2. Size the system analytically.
+    const auto req = analytic::wdc12();
+    const auto nova_req = analytic::novaRequirements(req);
+
+    // 3. Project: near-perfect weak scaling (Fig. 8) over the sized
+    //    GPN count; BFS traverses ~|E| edges.
+    const double system_gteps =
+        gteps_per_gpn * static_cast<double>(nova_req.hbmStacks);
+    const double seconds =
+        static_cast<double>(req.edges) / (system_gteps * 1e9);
+
+    std::printf("measured per-GPN throughput: %.2f GTEPS (BFS on the "
+                "Urand equivalent, %s)\n",
+                gteps_per_gpn, run.valid ? "validated" : "INVALID");
+    std::printf("system size for WDC12 (Table IV): %u GPNs, %.0f GiB "
+                "HBM + %.0f GiB DDR, %.1f MiB SRAM\n",
+                nova_req.hbmStacks, nova_req.hbmGiB, nova_req.ddrGiB,
+                nova_req.sramMiB);
+    std::printf("projected system throughput: %.1f GTEPS\n",
+                system_gteps);
+    std::printf("projected WDC12 BFS time (%.1fB edges): %.2f s\n",
+                static_cast<double>(req.edges) / 1e9, seconds);
+    std::printf("\n(The projection assumes the near-perfect weak "
+                "scaling of Fig. 8 and one\ntraversal per edge; it is "
+                "an envelope, not a simulation.)\n");
+    return run.valid ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Table II: the system specification of one GPN, both at the paper's
+ * full-size values and at the experiment scale, including the tracker
+ * capacities from Eq. 1 and Eq. 2.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+using namespace nova;
+using namespace nova::bench;
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = Options::parse(argc, argv, 1000);
+    printHeader("Table II", "system specification per GPN", opts);
+
+    const core::NovaConfig paper; // unscaled defaults
+    const core::NovaConfig scaled = novaConfig(opts.scale);
+
+    std::printf("%-28s %-28s %s\n", "parameter", "paper", "scaled");
+    std::printf("%-28s %u @ %.1f GHz\n", "# PE", paper.pesPerGpn,
+                paper.clockGHz);
+    std::printf("%-28s %-28s %u B\n", "cache / PE",
+                "64 KiB", scaled.cacheBytesPerPe);
+    std::printf("%-28s %.2f MiB (Eq.1-2)           %.2f KiB\n",
+                "tracker (VMU) / GPN",
+                static_cast<double>(paper.trackerBitsPerGpn()) / 8 /
+                    (1 << 20),
+                static_cast<double>(
+                    core::trackerCapacityBits(
+                        scaled.vertexMemBytesPerPe, scaled.superblockDim,
+                        scaled.blockBytes) *
+                    scaled.pesPerGpn) /
+                    8 / 1024);
+    std::printf("%-28s HBM2 stack, %.0f GB/s, 4 GiB\n", "vertex memory",
+                paper.vertexMem.peakBytesPerSec() * paper.pesPerGpn /
+                    1e9);
+    std::printf("%-28s %u DDR4 channels, %.1f GB/s, 128 GiB\n",
+                "edge memory", paper.edgeChannelsPerGpn,
+                paper.edgeMem.peakBytesPerSec() *
+                    paper.edgeChannelsPerGpn / 1e9);
+    std::printf("%-28s %u reduce + %u propagate\n",
+                "functional units / GPN",
+                paper.reduceFusPerPe * paper.pesPerGpn,
+                paper.propagateFusPerPe * paper.pesPerGpn);
+    std::printf("%-28s 8x8 point-to-point, %.1f GB/s per link\n",
+                "PE-PE network", paper.net.linkGBs);
+    std::printf("%-28s crossbar, %.0f GB/s per port\n",
+                "inter-GPN network", paper.net.portGBs);
+    std::printf("%-28s %u blocks of %u B (%u vertices/block)\n",
+                "superblock", paper.superblockDim, paper.blockBytes,
+                paper.vertsPerBlock());
+    std::printf("%-28s %u entries, prefetch %u blocks @ threshold %u\n",
+                "active buffer", paper.activeBufferEntries,
+                paper.prefetchBurstBlocks, paper.prefetchThreshold);
+    std::printf("%-28s %.1f GB/s\n", "GPN aggregate bandwidth",
+                paper.gpnBandwidthGBs());
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Table IV: resources needed to support the WDC12 graph (3.5 B
+ * vertices, ~129 B edges) for NOVA, PolyGraph (sliced + non-sliced)
+ * and Dalorex, from the analytical scaling models.
+ */
+
+#include <cstdio>
+
+#include "analytic/scaling.hh"
+
+using namespace nova::analytic;
+
+namespace
+{
+
+void
+printRow(const AcceleratorRequirements &r)
+{
+    char hbm[40] = "-";
+    if (r.hbmStacks > 0)
+        std::snprintf(hbm, sizeof(hbm), "%u (%.3f TiB)", r.hbmStacks,
+                      r.hbmGiB / 1024.0);
+    char ddr[40] = "-";
+    if (r.ddrChannels > 0)
+        std::snprintf(ddr, sizeof(ddr), "%u (%.0f GiB)", r.ddrChannels,
+                      r.ddrGiB);
+    char sram[40];
+    if (r.sramMiB >= 1024.0)
+        std::snprintf(sram, sizeof(sram), "%.2f GiB",
+                      r.sramMiB / 1024.0);
+    else
+        std::snprintf(sram, sizeof(sram), "%.1f MiB", r.sramMiB);
+    std::printf("%-22s %-18s %-16s %-12s %-8u %-6u\n", r.name.c_str(),
+                hbm, ddr, sram, r.cores, r.slices);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=================================================="
+                "==========================\n");
+    std::printf("Table IV: requirements to support WDC12 "
+                "(%.0f GiB vertices + %.0f GiB edges)\n",
+                wdc12().vertexGiB(), wdc12().edgeGiB());
+    std::printf("=================================================="
+                "==========================\n");
+    std::printf("%-22s %-18s %-16s %-12s %-8s %-6s\n", "accelerator",
+                "HBM stacks", "DDR channels", "SRAM/eDRAM", "cores",
+                "slices");
+    printRow(novaRequirements(wdc12()));
+    printRow(polygraphRequirements(wdc12()));
+    printRow(polygraphNonSlicedRequirements(wdc12()));
+    printRow(dalorexRequirements(wdc12()));
+    std::printf("\npaper: NOVA 14 stacks / 56 DDR ch / 21 MiB / 112 "
+                "cores / 1 slice;\nPolyGraph 136 stacks / 4 GiB / 2176 "
+                "cores / 15 slices;\nPolyGraph non-sliced 128 stacks / "
+                "56 GiB / 6400 cores;\nDalorex 1 TiB SRAM / 249661 "
+                "cores.\n");
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Table V: FPGA resource/power estimate of one GPN (8 PEs at 1 GHz)
+ * on the Xilinx Alveo U280, from the calibrated per-unit model, plus
+ * how many GPNs fit on the device.
+ */
+
+#include <cstdio>
+
+#include "analytic/fpga.hh"
+
+using namespace nova::analytic;
+
+int
+main()
+{
+    std::printf("=================================================="
+                "==========================\n");
+    std::printf("Table V: hardware implementation estimate, one GPN "
+                "(8 PEs) at 1 GHz on U280\n");
+    std::printf("=================================================="
+                "==========================\n");
+
+    const FpgaDevice dev = alveoU280();
+    const GpnFpgaEstimate e = estimateGpn(8);
+
+    std::printf("%-8s %-8s %-8s %-6s %-6s %-10s\n", "unit", "LUT", "FF",
+                "BRAM", "URAM", "power(mW)");
+    for (const FpgaRow &row : e.rows)
+        std::printf("%-8s %-8u %-8u %-6u %-6u %-10.0f\n",
+                    row.unit.c_str(), row.res.lut, row.res.ff,
+                    row.res.bram, row.res.uram, row.res.powerMw);
+    std::printf("%-8s %-8u %-8u %-6u %-6u %-10.0f\n", "total",
+                e.total.lut, e.total.ff, e.total.bram, e.total.uram,
+                e.total.powerMw);
+    std::printf("%-8s %-7.2f%% %-7.2f%% %-5.2f%% %-5.2f%%\n", "of U280",
+                e.lutPct(dev), e.ffPct(dev), e.bramPct(dev),
+                e.uramPct(dev));
+
+    std::printf("\nGPNs fitting on the U280: %u (paper reports 14; the "
+                "binding resource is URAM)\n",
+                maxGpnsOnDevice(dev));
+    std::printf("paper totals: 8 MPU 6032/7472/16/24/1120mW, 8 VMU "
+                "5160/5560/64/64/1396mW,\n8 MGU 1640/4840/16/8/752mW, "
+                "NoC 3/145/0/0/6mW, total power 3274 mW.\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Capacity-planning study: how many GPNs does a graph need, and what
+ * does adding GPNs buy? Combines the analytical scaling model
+ * (Sec. VI-E) with simulated strong scaling — the workflow a system
+ * architect would use before deploying NOVA.
+ *
+ *   ./build/examples/scaling_study [scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "analytic/scaling.hh"
+#include "core/system.hh"
+#include "graph/graph_stats.hh"
+#include "graph/partition.hh"
+#include "graph/presets.hh"
+#include "workloads/programs.hh"
+#include "workloads/reference.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace nova;
+
+    const double scale = argc > 1 ? std::atof(argv[1]) : 2000.0;
+    const graph::NamedGraph input = graph::makeUrand(scale);
+    const graph::Csr &g = input.graph;
+
+    // 1. Analytical sizing at the *paper* scale: what would the
+    //    full-size version of this input need?
+    analytic::GraphRequirements req;
+    req.vertices = input.paperVertices;
+    req.edges = input.paperEdges;
+    const auto nova_req = analytic::novaRequirements(req);
+    std::printf("full-size %s (%.0fM vertices, %.2fB edges) needs: "
+                "%u GPNs, %.0f GiB HBM, %.0f GiB DDR, %.1f MiB SRAM\n",
+                input.name.c_str(),
+                static_cast<double>(req.vertices) / 1e6,
+                static_cast<double>(req.edges) / 1e9, nova_req.hbmStacks,
+                nova_req.hbmGiB, nova_req.ddrGiB, nova_req.sramMiB);
+
+    // 2. Simulated strong scaling on the scaled stand-in.
+    const graph::VertexId src = graph::highestDegreeVertex(g);
+    const auto ref = workloads::reference::bfsDepths(g, src);
+    std::printf("\nsimulated strong scaling (BFS, %u vertices, %llu "
+                "edges):\n",
+                g.numVertices(),
+                static_cast<unsigned long long>(g.numEdges()));
+    std::printf("%-6s %-12s %-10s %-10s %-12s %s\n", "GPNs", "time(ms)",
+                "GTEPS", "speedup", "edgeBW util", "valid");
+    double base = 0;
+    bool all_ok = true;
+    for (const std::uint32_t gpns : {1u, 2u, 4u, 8u}) {
+        core::NovaConfig cfg = core::NovaConfig{}.scaled(scale);
+        cfg.numGpns = gpns;
+        core::NovaSystem nova(cfg);
+        const auto map =
+            graph::randomMapping(g.numVertices(), cfg.totalPes(), 1);
+        workloads::BfsProgram bfs(src);
+        const auto r = nova.run(bfs, g, map);
+        const bool ok = r.props == ref;
+        all_ok = all_ok && ok;
+        const double ms = r.seconds() * 1e3;
+        if (gpns == 1)
+            base = ms;
+        std::printf("%-6u %-12.3f %-10.2f %-10.2f %-12.1f%% %s\n", gpns,
+                    ms, r.gteps(), base / ms,
+                    100 * r.extra.at("edgeMem.utilization"),
+                    ok ? "ok" : "BAD");
+    }
+    return all_ok ? 0 : 1;
+}

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Full reproduction run: build, test, and regenerate every table/figure.
+set -u
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja > /tmp/cmake_final.log 2>&1
+cmake --build build > /tmp/build_final.log 2>&1 || { echo BUILD_FAILED; exit 1; }
+ctest --test-dir build 2>&1 | tee test_output.txt > /dev/null
+bash scripts/run_benches.sh
+echo RUN_ALL_DONE

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerate every table/figure into bench_output.txt.
+set -u
+cd "$(dirname "$0")/.."
+{
+  for b in $(ls build/bench/* | sort); do
+      [ -f "$b" ] && [ -x "$b" ] || continue
+      case "$(basename "$b")" in
+        *.cmake) continue ;;
+      esac
+      echo "##### $(basename "$b")"
+      "$b"
+      echo
+  done
+} > bench_output.txt 2>&1
+echo BENCHES_DONE

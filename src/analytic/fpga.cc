@@ -1,0 +1,97 @@
+#include "analytic/fpga.hh"
+
+#include <algorithm>
+
+namespace nova::analytic
+{
+
+FpgaResources
+FpgaResources::operator+(const FpgaResources &o) const
+{
+    return {lut + o.lut, ff + o.ff, bram + o.bram, uram + o.uram,
+            powerMw + o.powerMw};
+}
+
+FpgaResources
+FpgaResources::operator*(std::uint32_t k) const
+{
+    return {lut * k, ff * k, bram * k, uram * k, powerMw * k};
+}
+
+FpgaDevice
+alveoU280()
+{
+    // Alveo U280 product brief: 1,304k LUTs, 2,607k FFs, 2,016 BRAM
+    // blocks, 960 URAM blocks.
+    return {"Alveo U280", 1'303'680, 2'607'360, 2016, 960};
+}
+
+namespace
+{
+
+// Per-unit costs for one PE, calibrated to Table V (which reports the
+// 8-PE totals: 8 MPU = 6032 LUT / 7472 FF / 16 BRAM / 24 URAM /
+// 1120 mW, etc.).
+constexpr FpgaResources mpuPerPe{754, 934, 2, 3, 140.0};
+constexpr FpgaResources vmuPerPe{645, 695, 8, 8, 174.5};
+constexpr FpgaResources mguPerPe{205, 605, 2, 1, 94.0};
+constexpr FpgaResources nocPerGpn{3, 145, 0, 0, 6.0};
+
+} // namespace
+
+GpnFpgaEstimate
+estimateGpn(std::uint32_t pes)
+{
+    GpnFpgaEstimate e;
+    e.rows.push_back({std::to_string(pes) + " MPU", mpuPerPe * pes});
+    e.rows.push_back({std::to_string(pes) + " VMU", vmuPerPe * pes});
+    e.rows.push_back({std::to_string(pes) + " MGU", mguPerPe * pes});
+    e.rows.push_back({"NoC", nocPerGpn});
+    for (const FpgaRow &row : e.rows)
+        e.total = e.total + row.res;
+    return e;
+}
+
+double
+GpnFpgaEstimate::lutPct(const FpgaDevice &d) const
+{
+    return 100.0 * total.lut / d.lut;
+}
+
+double
+GpnFpgaEstimate::ffPct(const FpgaDevice &d) const
+{
+    return 100.0 * total.ff / d.ff;
+}
+
+double
+GpnFpgaEstimate::bramPct(const FpgaDevice &d) const
+{
+    return 100.0 * total.bram / d.bram;
+}
+
+double
+GpnFpgaEstimate::uramPct(const FpgaDevice &d) const
+{
+    return 100.0 * total.uram / d.uram;
+}
+
+std::uint32_t
+maxGpnsOnDevice(const FpgaDevice &d, std::uint32_t pes_per_gpn,
+                double utilisation_ceiling)
+{
+    const GpnFpgaEstimate e = estimateGpn(pes_per_gpn);
+    auto fit = [&](std::uint32_t have, std::uint32_t need) {
+        if (need == 0)
+            return ~0u;
+        return static_cast<std::uint32_t>(
+            static_cast<double>(have) * utilisation_ceiling / need);
+    };
+    std::uint32_t gpns = fit(d.lut, e.total.lut);
+    gpns = std::min(gpns, fit(d.ff, e.total.ff));
+    gpns = std::min(gpns, fit(d.bram, e.total.bram));
+    gpns = std::min(gpns, fit(d.uram, e.total.uram));
+    return gpns;
+}
+
+} // namespace nova::analytic

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * FPGA resource and power estimator (Sec. VI-F, Table V).
+ *
+ * We cannot synthesise RTL in this environment; this model is
+ * calibrated to the paper's post-synthesis per-unit results on the
+ * Xilinx Alveo U280 (8 MPUs / 8 VMUs / 8 MGUs / NoC per GPN at 1 GHz)
+ * and lets users re-scale the estimate to other PE counts or devices.
+ */
+
+#ifndef NOVA_ANALYTIC_FPGA_HH
+#define NOVA_ANALYTIC_FPGA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nova::analytic
+{
+
+/** FPGA resource vector. */
+struct FpgaResources
+{
+    std::uint32_t lut = 0;
+    std::uint32_t ff = 0;
+    std::uint32_t bram = 0;
+    std::uint32_t uram = 0;
+    double powerMw = 0;
+
+    FpgaResources operator+(const FpgaResources &o) const;
+    FpgaResources operator*(std::uint32_t k) const;
+};
+
+/** Available resources of a target device. */
+struct FpgaDevice
+{
+    std::string name;
+    std::uint32_t lut = 0;
+    std::uint32_t ff = 0;
+    std::uint32_t bram = 0;
+    std::uint32_t uram = 0;
+};
+
+/** The Xilinx Alveo U280 (the paper's prototype platform). */
+FpgaDevice alveoU280();
+
+/** One labelled row of the estimate (Table V). */
+struct FpgaRow
+{
+    std::string unit;
+    FpgaResources res;
+};
+
+/** Full estimate for one GPN. */
+struct GpnFpgaEstimate
+{
+    std::vector<FpgaRow> rows;
+    FpgaResources total;
+
+    /** Utilisation percentages against a device. */
+    double lutPct(const FpgaDevice &d) const;
+    double ffPct(const FpgaDevice &d) const;
+    double bramPct(const FpgaDevice &d) const;
+    double uramPct(const FpgaDevice &d) const;
+};
+
+/**
+ * Estimate one GPN of `pes` PEs from the paper's calibrated per-unit
+ * costs (Table V is for 8 PEs at 1 GHz).
+ */
+GpnFpgaEstimate estimateGpn(std::uint32_t pes = 8);
+
+/**
+ * How many GPNs fit on a device at the given utilisation ceiling
+ * (the paper reports 14 GPNs / 112 PEs on the U280).
+ */
+std::uint32_t maxGpnsOnDevice(const FpgaDevice &d,
+                              std::uint32_t pes_per_gpn = 8,
+                              double utilisation_ceiling = 1.0);
+
+} // namespace nova::analytic
+
+#endif // NOVA_ANALYTIC_FPGA_HH

@@ -1,0 +1,98 @@
+#include "analytic/scaling.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nova::analytic
+{
+
+namespace
+{
+
+std::uint32_t
+ceilDiv(double need, double unit)
+{
+    return static_cast<std::uint32_t>(std::ceil(need / unit));
+}
+
+} // namespace
+
+GraphRequirements
+wdc12()
+{
+    GraphRequirements g;
+    g.vertices = 3'560'000'000ULL;  // ~53 GiB of 16 B vertices
+    g.edges = 128'750'000'000ULL;   // ~959 GiB of 8 B edges
+    return g;
+}
+
+AcceleratorRequirements
+novaRequirements(const GraphRequirements &g, const NovaScalingParams &p)
+{
+    AcceleratorRequirements r;
+    r.name = "NOVA";
+    // GPN count driven by the vertex set: one HBM stack per GPN.
+    const std::uint32_t gpns_for_vertices =
+        ceilDiv(g.vertexGiB(), p.hbmStackGiB);
+    // Edges must also fit in the GPNs' DDR4.
+    const std::uint32_t gpns_for_edges = ceilDiv(
+        g.edgeGiB(), p.ddrChannelGiB * p.ddrChannelsPerGpn);
+    const std::uint32_t gpns = std::max(gpns_for_vertices, gpns_for_edges);
+    r.hbmStacks = gpns;
+    r.hbmGiB = gpns * p.hbmStackGiB;
+    r.ddrChannels = gpns * p.ddrChannelsPerGpn;
+    r.ddrGiB = r.ddrChannels * p.ddrChannelGiB;
+    r.sramMiB = gpns * p.sramPerGpnMiB;
+    r.cores = gpns * p.pesPerGpn;
+    r.slices = 1;
+    return r;
+}
+
+AcceleratorRequirements
+polygraphRequirements(const GraphRequirements &g,
+                      const PolyGraphScalingParams &p)
+{
+    AcceleratorRequirements r;
+    r.name = "PolyGraph";
+    const double total_gib =
+        (g.vertexGiB() + g.edgeGiB()) * p.replicationFactor;
+    const std::uint32_t nodes = ceilDiv(total_gib, p.hbmStackGiB);
+    r.hbmStacks = nodes;
+    r.hbmGiB = nodes * p.hbmStackGiB;
+    r.sramMiB = nodes * p.sramPerNodeMiB;
+    r.cores = nodes * p.coresPerNode;
+    // The vertex set (plus replicas) is time-multiplexed through the
+    // aggregate scratchpad.
+    r.slices = ceilDiv(g.vertexGiB() * p.replicationFactor * 1024.0,
+                       r.sramMiB);
+    return r;
+}
+
+AcceleratorRequirements
+polygraphNonSlicedRequirements(const GraphRequirements &g,
+                               const PolyGraphScalingParams &p)
+{
+    AcceleratorRequirements r;
+    r.name = "PolyGraph non-sliced";
+    r.sramMiB = g.vertexGiB() * 1024.0;
+    r.hbmStacks = ceilDiv(g.edgeGiB(), p.hbmStackGiB);
+    r.hbmGiB = r.hbmStacks * p.hbmStackGiB;
+    r.cores = static_cast<std::uint32_t>(
+        std::ceil(r.sramMiB / p.nonSlicedSramPerCoreMiB));
+    r.slices = 1;
+    return r;
+}
+
+AcceleratorRequirements
+dalorexRequirements(const GraphRequirements &g, double tile_mib)
+{
+    AcceleratorRequirements r;
+    r.name = "Dalorex";
+    r.sramMiB = (g.vertexGiB() + g.edgeGiB()) * 1024.0;
+    r.cores = static_cast<std::uint32_t>(
+        std::ceil(r.sramMiB / tile_mib));
+    r.slices = 1;
+    return r;
+}
+
+} // namespace nova::analytic

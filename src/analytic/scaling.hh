@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Closed-form resource models for scaling to tera-scale graphs
+ * (Sec. VI-E, Table IV): what it costs NOVA, PolyGraph (sliced and
+ * non-sliced) and Dalorex to hold the WDC12 hyperlink graph.
+ */
+
+#ifndef NOVA_ANALYTIC_SCALING_HH
+#define NOVA_ANALYTIC_SCALING_HH
+
+#include <cstdint>
+#include <string>
+
+namespace nova::analytic
+{
+
+/** Capacity footprint of a graph under the paper's accounting. */
+struct GraphRequirements
+{
+    std::uint64_t vertices = 0;
+    std::uint64_t edges = 0;
+    std::uint32_t vertexBytes = 16;
+    std::uint32_t edgeBytes = 8;
+
+    double
+    vertexGiB() const
+    {
+        return static_cast<double>(vertices) * vertexBytes /
+               (1024.0 * 1024.0 * 1024.0);
+    }
+
+    double
+    edgeGiB() const
+    {
+        return static_cast<double>(edges) * edgeBytes /
+               (1024.0 * 1024.0 * 1024.0);
+    }
+};
+
+/** WDC12: 3.56 B pages, 128.7 B hyperlinks (53 GiB + 959 GiB). */
+GraphRequirements wdc12();
+
+/** One row of Table IV. */
+struct AcceleratorRequirements
+{
+    std::string name;
+    std::uint32_t hbmStacks = 0;
+    double hbmGiB = 0;
+    std::uint32_t ddrChannels = 0;
+    double ddrGiB = 0;
+    double sramMiB = 0;
+    std::uint32_t cores = 0;
+    std::uint32_t slices = 1;
+};
+
+/** Sizing parameters of one NOVA GPN (Table II defaults). */
+struct NovaScalingParams
+{
+    double hbmStackGiB = 4.0;
+    std::uint32_t ddrChannelsPerGpn = 4;
+    double ddrChannelGiB = 32.0;
+    std::uint32_t pesPerGpn = 8;
+    /** 512 KiB cache + 1 MiB tracker per GPN. */
+    double sramPerGpnMiB = 1.5;
+};
+
+/**
+ * NOVA scales by adding GPNs until the vertex set fits in HBM; edges
+ * ride along in the GPNs' DDR4. No temporal slicing ever.
+ */
+AcceleratorRequirements novaRequirements(const GraphRequirements &g,
+                                         const NovaScalingParams &p = {});
+
+/** Sizing parameters of a PolyGraph node (from [13] / Table IV). */
+struct PolyGraphScalingParams
+{
+    double hbmStackGiB = 8.0;
+    std::uint32_t coresPerNode = 16;
+    double sramPerNodeMiB = 32.0;
+    /** Partition replication overhead of the sliced variant. */
+    double replicationFactor = 1.075;
+    /** Non-sliced variant: per-core scratchpad share (Table IV). */
+    double nonSlicedSramPerCoreMiB = 9.0;
+};
+
+/**
+ * Sliced PolyGraph: the whole graph (plus replicas) lives in HBM;
+ * nodes grow with capacity; the vertex set is time-multiplexed
+ * through the aggregate scratchpad, giving the slice count.
+ */
+AcceleratorRequirements
+polygraphRequirements(const GraphRequirements &g,
+                      const PolyGraphScalingParams &p = {});
+
+/**
+ * Non-sliced PolyGraph: the entire vertex set must live on-chip; the
+ * edge store fills HBM.
+ */
+AcceleratorRequirements
+polygraphNonSlicedRequirements(const GraphRequirements &g,
+                               const PolyGraphScalingParams &p = {});
+
+/** Dalorex: everything on-chip, 4.25 MiB SRAM tiles. */
+AcceleratorRequirements
+dalorexRequirements(const GraphRequirements &g, double tile_mib = 4.25);
+
+} // namespace nova::analytic
+
+#endif // NOVA_ANALYTIC_SCALING_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * A Ligra-style software graph-processing framework (the paper's
+ * software baseline, Sec. V).
+ *
+ * Executes the same VertexProgram abstraction with frontier-based
+ * supersteps (edgeMap/vertexMap structure, sparse/dense frontier
+ * switching) on the host CPU, and reports *measured wall-clock* time
+ * converted to simulation ticks. Substitution note (DESIGN.md §3): the
+ * paper measured Ligra on an 8-core x86 with 400 GB/s of memory
+ * bandwidth; this runs on whatever host executes the benchmark, so
+ * only the software-vs-accelerator shape is meaningful.
+ */
+
+#ifndef NOVA_BASELINES_LIGRA_HH
+#define NOVA_BASELINES_LIGRA_HH
+
+#include "workloads/engine.hh"
+
+namespace nova::baselines
+{
+
+/**
+ * Configuration of the software framework.
+ *
+ * The engine is push-based with sparse frontiers (Ligra's edgeMap /
+ * vertexMap structure); direction-optimising pull iteration is not
+ * modelled — for the paper's comparison only the software baseline's
+ * order of magnitude matters.
+ */
+struct LigraConfig
+{
+    /** Reserved for future frontier-density tuning. */
+    double denseThreshold = 0.05;
+};
+
+/** The Ligra-like software engine. */
+class LigraEngine : public workloads::GraphEngine
+{
+  public:
+    explicit LigraEngine(LigraConfig config = {}) : cfg(config) {}
+
+    std::string name() const override { return "ligra"; }
+
+    /** The mapping argument is unused (shared-memory execution). */
+    workloads::RunResult run(workloads::VertexProgram &program,
+                             const graph::Csr &g,
+                             const graph::VertexMapping &map) override;
+
+  private:
+    LigraConfig cfg;
+};
+
+} // namespace nova::baselines
+
+#endif // NOVA_BASELINES_LIGRA_HH

@@ -1,0 +1,490 @@
+#include "baselines/polygraph.hh"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "sim/logging.hh"
+
+namespace nova::baselines
+{
+
+using graph::Csr;
+using graph::VertexId;
+using workloads::ExecMode;
+using workloads::RunResult;
+using workloads::VertexProgram;
+
+std::uint32_t
+PolyGraphConfig::numSlices(VertexId num_vertices) const
+{
+    if (forcedSlices > 0)
+        return forcedSlices;
+    const std::uint64_t need =
+        std::uint64_t(num_vertices) * slicedVertexBytes;
+    return static_cast<std::uint32_t>(
+        std::max<std::uint64_t>(1, (need + onChipBytes - 1) / onChipBytes));
+}
+
+namespace
+{
+
+/** Mutable execution state shared by the async and BSP drivers. */
+struct PgState
+{
+    const PolyGraphConfig &cfg;
+    VertexProgram &prog;
+    const Csr &g;
+    std::uint32_t numSlices;
+    VertexId sliceSize;
+
+    std::vector<std::uint64_t> cur;
+    std::vector<std::uint64_t> acc;
+    std::vector<std::uint8_t> everActivated;
+
+    double processingTicks = 0;
+    double revisitTicks = 0;
+    double switchingTicks = 0;
+    std::uint64_t traversed = 0;
+    std::uint64_t reduced = 0;
+    std::uint64_t coalesced = 0;
+    std::uint64_t sliceVisits = 0;
+
+    PgState(const PolyGraphConfig &c, VertexProgram &p, const Csr &graph)
+        : cfg(c), prog(p), g(graph), numSlices(c.numSlices(graph.
+              numVertices())),
+          sliceSize((graph.numVertices() + numSlices - 1) / numSlices)
+    {
+        if (sliceSize == 0)
+            sliceSize = 1;
+        const VertexId n = g.numVertices();
+        cur.resize(n);
+        acc.resize(n);
+        everActivated.assign(n, 0);
+        for (VertexId v = 0; v < n; ++v) {
+            cur[v] = prog.initialProp(v);
+            acc[v] = prog.initialAcc(v);
+        }
+    }
+
+    std::uint32_t sliceOf(VertexId v) const { return v / sliceSize; }
+
+    /**
+     * Replicas a slice keeps of remote vertices (distinct cross-slice
+     * edge destinations). Sec. II-C step (3): all of them are read on
+     * every visit to create inter-slice messages; updated ones are
+     * written back (step 2).
+     */
+    std::vector<std::uint64_t>
+    computeReplicaCounts() const
+    {
+        std::vector<std::uint64_t> replicas(numSlices, 0);
+        if (numSlices <= 1)
+            return replicas;
+        std::vector<std::uint32_t> seen(g.numVertices(), ~0u);
+        for (std::uint32_t s = 0; s < numSlices; ++s) {
+            const VertexId lo = s * sliceSize;
+            const VertexId hi =
+                std::min<VertexId>(g.numVertices(), lo + sliceSize);
+            for (VertexId v = lo; v < hi; ++v) {
+                for (graph::EdgeId e = g.edgeBegin(v); e < g.edgeEnd(v);
+                     ++e) {
+                    const VertexId w = g.edgeDest(e);
+                    if (sliceOf(w) != s && seen[w] != s) {
+                        seen[w] = s;
+                        ++replicas[s];
+                    }
+                }
+            }
+        }
+        return replicas;
+    }
+
+    VertexId
+    sliceVerts(std::uint32_t s) const
+    {
+        const VertexId lo = s * sliceSize;
+        return std::min<VertexId>(sliceSize, g.numVertices() - lo);
+    }
+
+    double
+    bytesToTicks(double bytes) const
+    {
+        return bytes * 1000.0 /
+               (cfg.memBandwidthGBs * cfg.dramEfficiency);
+    }
+
+    double
+    edgesToTicks(double edges) const
+    {
+        return edges * 1000.0 / (cfg.computeEdgesPerCycle * cfg.clockGHz);
+    }
+
+    /**
+     * Charge one slice visit's processing phase. Re-visit processing
+     * is attributed to the inefficiency overhead, following the
+     * paper's Fig. 2 definition ("time spent processing slices more
+     * than once").
+     */
+    void
+    chargeVisit(double bytes, double edges, bool first_visit)
+    {
+        const double t = std::max(bytesToTicks(bytes),
+                                  edgesToTicks(edges));
+        if (first_visit)
+            processingTicks += t;
+        else
+            revisitTicks += t;
+        ++sliceVisits;
+    }
+
+    /**
+     * Charge slice-state / replica traffic (full bandwidth, Sec. V).
+     * On a re-visit the cost is re-processing overhead and counts as
+     * inefficiency (Fig. 2's definition); the first visit's cost is
+     * the unavoidable switching.
+     */
+    void
+    chargeSwitch(double bytes, bool first_visit = true)
+    {
+        if (first_visit)
+            switchingTicks += bytesToTicks(bytes);
+        else
+            revisitTicks += bytesToTicks(bytes);
+    }
+};
+
+/** Asynchronous sliced execution (BFS/SSSP/CC). */
+void
+runAsync(PgState &st)
+{
+    const std::uint32_t S = st.numSlices;
+    std::vector<std::deque<std::pair<VertexId, std::uint64_t>>> fifo(S);
+    std::vector<std::deque<VertexId>> pendingActive(S);
+    std::vector<std::uint8_t> in_queue(st.g.numVertices(), 0);
+    const std::vector<std::uint64_t> replicas = st.computeReplicaCounts();
+    std::vector<std::uint64_t> dst_stamp(st.g.numVertices(), 0);
+    std::uint64_t visit_epoch = 0;
+
+    for (const VertexId v : st.prog.initialActive())
+        pendingActive[st.sliceOf(v)].push_back(v);
+
+    const bool non_sliced = S == 1;
+    bool loaded_once = false;
+    std::vector<std::uint8_t> visited(S, 0);
+
+    for (;;) {
+        // Work-aware slice selection (the T_w variant): visit the
+        // slice with the most pending work.
+        std::uint32_t best = S;
+        std::size_t best_work = 0;
+        for (std::uint32_t s = 0; s < S; ++s) {
+            const std::size_t work =
+                fifo[s].size() + pendingActive[s].size();
+            if (work > best_work) {
+                best_work = work;
+                best = s;
+            }
+        }
+        if (best == S)
+            break;
+        const std::uint32_t s = best;
+
+        const bool first_visit = !visited[s];
+        if (!non_sliced || !loaded_once) {
+            st.chargeSwitch(static_cast<double>(st.sliceVerts(s)) *
+                            st.cfg.vertexBytes, first_visit);
+            loaded_once = true;
+        }
+        // Sec. II-C step (3): read every replica of this slice to
+        // create the inter-slice messages it owes its neighbours.
+        st.chargeSwitch(static_cast<double>(replicas[s]) *
+                        st.cfg.replicaReadBytes, first_visit);
+        ++visit_epoch;
+        std::uint64_t updated_replicas = 0;
+
+        double visit_bytes = 0;
+        double visit_edges = 0;
+        std::deque<VertexId> localq;
+
+        // Drain the cross-slice FIFO (uncoalesced entries).
+        visit_bytes +=
+            static_cast<double>(fifo[s].size()) * st.cfg.fifoEntryBytes;
+        while (!fifo[s].empty()) {
+            const auto [v, u] = fifo[s].front();
+            fifo[s].pop_front();
+            ++st.reduced;
+            const std::uint64_t old = st.cur[v];
+            const std::uint64_t next = st.prog.reduce(old, u, old);
+            st.cur[v] = next;
+            if (st.prog.activates(old, next)) {
+                if (!in_queue[v]) {
+                    in_queue[v] = 1;
+                    localq.push_back(v);
+                } else {
+                    ++st.coalesced;
+                }
+            }
+        }
+        while (!pendingActive[s].empty()) {
+            const VertexId v = pendingActive[s].front();
+            pendingActive[s].pop_front();
+            if (!in_queue[v]) {
+                in_queue[v] = 1;
+                localq.push_back(v);
+            }
+        }
+
+        // Eager intra-slice processing until quiescent.
+        while (!localq.empty()) {
+            const VertexId v = localq.front();
+            localq.pop_front();
+            in_queue[v] = 0;
+            st.everActivated[v] = 1;
+            const std::uint64_t alpha =
+                st.prog.propagateValue(st.cur[v], v);
+            for (graph::EdgeId e = st.g.edgeBegin(v); e < st.g.edgeEnd(v);
+                 ++e) {
+                const VertexId w = st.g.edgeDest(e);
+                const std::uint64_t u =
+                    st.prog.propagate(alpha, st.g.edgeWeight(e));
+                ++st.traversed;
+                visit_edges += 1;
+                visit_bytes += st.cfg.edgeBytes;
+                if (st.sliceOf(w) == s) {
+                    // On-chip reduce with on-chip queue coalescing.
+                    ++st.reduced;
+                    const std::uint64_t old = st.cur[w];
+                    const std::uint64_t next = st.prog.reduce(old, u, old);
+                    st.cur[w] = next;
+                    if (st.prog.activates(old, next)) {
+                        if (!in_queue[w]) {
+                            in_queue[w] = 1;
+                            localq.push_back(w);
+                        } else {
+                            ++st.coalesced;
+                        }
+                    }
+                } else {
+                    fifo[st.sliceOf(w)].emplace_back(w, u);
+                    visit_bytes += st.cfg.fifoEntryBytes;
+                    if (dst_stamp[w] != visit_epoch) {
+                        dst_stamp[w] = visit_epoch;
+                        ++updated_replicas;
+                    }
+                }
+            }
+        }
+
+        st.chargeVisit(visit_bytes, visit_edges, first_visit);
+        visited[s] = 1;
+        if (!non_sliced) {
+            // Step (1) store + step (2) write back updated replicas.
+            st.chargeSwitch(static_cast<double>(st.sliceVerts(s)) *
+                            st.cfg.vertexBytes, first_visit);
+            st.chargeSwitch(static_cast<double>(updated_replicas) *
+                            st.cfg.replicaWriteBytes, first_visit);
+        }
+    }
+    if (non_sliced && loaded_once) {
+        st.chargeSwitch(static_cast<double>(st.g.numVertices()) *
+                        st.cfg.vertexBytes);
+    }
+}
+
+/** Bulk-synchronous sliced execution (PR/BC). */
+std::uint64_t
+runBsp(PgState &st)
+{
+    const std::uint32_t S = st.numSlices;
+    const bool non_sliced = S == 1;
+
+    // Pre-bucket scheduled activations by iteration.
+    std::map<std::int64_t, std::vector<VertexId>> schedule;
+    for (VertexId v = 0; v < st.g.numVertices(); ++v) {
+        const std::int64_t k = st.prog.scheduledActivation(v);
+        if (k >= 0)
+            schedule[k].push_back(v);
+    }
+
+    std::vector<std::deque<std::pair<VertexId, std::uint64_t>>> fifoCur(S);
+    std::vector<std::deque<std::pair<VertexId, std::uint64_t>>> fifoNext(S);
+    std::vector<std::deque<VertexId>> active(S);
+    const std::vector<std::uint64_t> replicas = st.computeReplicaCounts();
+    std::vector<std::uint64_t> dst_stamp(st.g.numVertices(), 0);
+    std::uint64_t visit_epoch = 0;
+
+    auto add_scheduled = [&](std::uint64_t k) {
+        auto it = schedule.find(static_cast<std::int64_t>(k));
+        if (it == schedule.end())
+            return;
+        for (const VertexId v : it->second)
+            active[st.sliceOf(v)].push_back(v);
+        schedule.erase(it);
+    };
+    for (const VertexId v : st.prog.initialActive())
+        active[st.sliceOf(v)].push_back(v);
+    add_scheduled(0);
+
+    std::uint64_t superstep = 0;
+    bool loaded_once = false;
+    std::vector<std::uint8_t> visited(S, 0);
+    std::vector<VertexId> touched;
+    std::vector<std::uint8_t> touched_flag(st.g.numVertices(), 0);
+
+    for (;;) {
+        bool any_work = false;
+        for (std::uint32_t s = 0; s < S; ++s)
+            any_work |= !fifoCur[s].empty() || !active[s].empty();
+        if (!any_work && schedule.empty())
+            break;
+
+        for (std::uint32_t s = 0; s < S; ++s) {
+            if (fifoCur[s].empty() && active[s].empty())
+                continue;
+
+            const bool first_visit = !visited[s];
+            if (!non_sliced || !loaded_once) {
+                st.chargeSwitch(static_cast<double>(st.sliceVerts(s)) *
+                                st.cfg.vertexBytes, first_visit);
+                loaded_once = true;
+            }
+            if (!non_sliced) {
+                st.chargeSwitch(static_cast<double>(replicas[s]) *
+                                st.cfg.replicaReadBytes, first_visit);
+            }
+            ++visit_epoch;
+            std::uint64_t updated_replicas = 0;
+
+            double visit_bytes = 0;
+            double visit_edges = 0;
+
+            // Reduce last superstep's messages into accumulators.
+            visit_bytes += static_cast<double>(fifoCur[s].size()) *
+                           st.cfg.fifoEntryBytes;
+            touched.clear();
+            while (!fifoCur[s].empty()) {
+                const auto [v, u] = fifoCur[s].front();
+                fifoCur[s].pop_front();
+                ++st.reduced;
+                if (!touched_flag[v]) {
+                    touched_flag[v] = 1;
+                    touched.push_back(v);
+                } else {
+                    ++st.coalesced;
+                }
+                st.acc[v] = st.prog.reduce(st.acc[v], u, st.cur[v]);
+            }
+
+            // Barrier for this slice's touched vertices.
+            for (const VertexId v : touched) {
+                touched_flag[v] = 0;
+                const workloads::BarrierOutcome out =
+                    st.prog.bspApply(st.cur[v], st.acc[v], v);
+                st.cur[v] = out.newCur;
+                st.acc[v] = out.newAcc;
+                if (out.active && superstep < st.prog.maxIterations())
+                    active[s].push_back(v);
+            }
+
+            // Propagate this superstep's active vertices.
+            while (!active[s].empty()) {
+                const VertexId v = active[s].front();
+                active[s].pop_front();
+                st.everActivated[v] = 1;
+                const std::uint64_t alpha =
+                    st.prog.propagateValue(st.cur[v], v);
+                for (graph::EdgeId e = st.g.edgeBegin(v);
+                     e < st.g.edgeEnd(v); ++e) {
+                    const VertexId w = st.g.edgeDest(e);
+                    const std::uint64_t u =
+                        st.prog.propagate(alpha, st.g.edgeWeight(e));
+                    ++st.traversed;
+                    visit_edges += 1;
+                    visit_bytes += st.cfg.edgeBytes;
+                    fifoNext[st.sliceOf(w)].emplace_back(w, u);
+                    if (!non_sliced) {
+                        visit_bytes += st.cfg.fifoEntryBytes;
+                        if (st.sliceOf(w) != s &&
+                            dst_stamp[w] != visit_epoch) {
+                            dst_stamp[w] = visit_epoch;
+                            ++updated_replicas;
+                        }
+                    }
+                }
+            }
+
+            st.chargeVisit(visit_bytes, visit_edges, first_visit);
+            visited[s] = 1;
+            if (!non_sliced) {
+                st.chargeSwitch(static_cast<double>(st.sliceVerts(s)) *
+                                st.cfg.vertexBytes, first_visit);
+                st.chargeSwitch(static_cast<double>(updated_replicas) *
+                                st.cfg.replicaWriteBytes, first_visit);
+            }
+        }
+
+        std::swap(fifoCur, fifoNext);
+        ++superstep;
+        // The activation gate above stops propagation at the iteration
+        // budget; one extra superstep drains and applies the final
+        // messages, after which no work remains. The hard stop is only
+        // a safety net.
+        if (superstep > st.prog.maxIterations() + 1)
+            break;
+        add_scheduled(superstep);
+    }
+    if (non_sliced && loaded_once) {
+        st.chargeSwitch(static_cast<double>(st.g.numVertices()) *
+                        st.cfg.vertexBytes);
+    }
+    return superstep;
+}
+
+} // namespace
+
+RunResult
+PolyGraphModel::run(VertexProgram &program, const Csr &g,
+                    const graph::VertexMapping &map)
+{
+    (void)map;
+    program.bind(g);
+    PgState st(cfg, program, g);
+
+    RunResult result;
+    if (program.mode() == ExecMode::Async)
+        runAsync(st);
+    else
+        result.bspIterations = runBsp(st);
+
+    result.ticks = static_cast<sim::Tick>(
+        st.processingTicks + st.revisitTicks + st.switchingTicks);
+    result.props = std::move(st.cur);
+    result.messagesProcessed = st.reduced;
+    result.messagesGenerated = st.traversed;
+    result.coalescedUpdates = st.coalesced;
+
+    // Work-optimal edge count, for the work-efficiency statistics.
+    std::uint64_t useful = 0;
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        if (st.everActivated[v])
+            useful += g.degree(v);
+
+    auto &extra = result.extra;
+    extra["pg.numSlices"] = st.numSlices;
+    extra["pg.sliceVisits"] = static_cast<double>(st.sliceVisits);
+    extra["pg.processingTicks"] = st.processingTicks;
+    extra["pg.inefficiencyTicks"] = st.revisitTicks;
+    extra["pg.switchingTicks"] = st.switchingTicks;
+    extra["pg.usefulEdges"] = static_cast<double>(useful);
+    const double total_bytes =
+        (st.processingTicks + st.revisitTicks + st.switchingTicks) *
+        cfg.memBandwidthGBs * cfg.dramEfficiency / 1000.0;
+    const double edge_bytes =
+        static_cast<double>(st.traversed) * cfg.edgeBytes;
+    extra["pg.edgeByteFraction"] =
+        total_bytes > 0 ? edge_bytes / total_bytes : 0;
+    return result;
+}
+
+} // namespace nova::baselines

@@ -1,0 +1,278 @@
+#include "core/system.hh"
+
+#include <map>
+#include <memory>
+
+#include "core/mgu.hh"
+#include "core/mpu.hh"
+#include "core/vmu.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace nova::core
+{
+
+using workloads::ExecMode;
+using workloads::RunResult;
+using workloads::VertexProgram;
+
+namespace
+{
+
+/** All per-PE components of one run, bundled for lifetime management. */
+struct PeParts
+{
+    std::unique_ptr<VertexStore> store;
+    std::unique_ptr<mem::MemorySystem> vertexMem;
+    std::unique_ptr<mem::DirectMappedCache> cache;
+    std::unique_ptr<Vmu> vmu;
+    std::unique_ptr<Mpu> mpu;
+    std::unique_ptr<Mgu> mgu;
+};
+
+} // namespace
+
+RunResult
+NovaSystem::run(VertexProgram &program, const graph::Csr &g,
+                const graph::VertexMapping &map)
+{
+    const std::uint32_t num_pes = cfg.totalPes();
+    if (map.parts() != num_pes)
+        sim::fatal("mapping has ", map.parts(), " parts but the system has ",
+                   num_pes, " PEs");
+
+    program.bind(g);
+
+    sim::EventQueue eq;
+    RunCounters counters;
+
+    noc::NetworkConfig ncfg = cfg.net;
+    ncfg.numPes = num_pes;
+    ncfg.pesPerGpn = cfg.pesPerGpn;
+    auto net = noc::makeNetwork(cfg.fabric, "net", eq, ncfg);
+
+    std::vector<std::unique_ptr<mem::MemorySystem>> edge_mems;
+    for (std::uint32_t gpn = 0; gpn < cfg.numGpns; ++gpn) {
+        edge_mems.push_back(std::make_unique<mem::MemorySystem>(
+            "gpn" + std::to_string(gpn) + ".edgeMem", eq, cfg.edgeMem,
+            cfg.edgeChannelsPerGpn));
+    }
+
+    std::vector<PeParts> pes(num_pes);
+    for (std::uint32_t pe = 0; pe < num_pes; ++pe) {
+        const std::string base = "pe" + std::to_string(pe);
+        PeParts &p = pes[pe];
+        p.store = std::make_unique<VertexStore>(g, map, pe, cfg, program);
+        p.vertexMem = std::make_unique<mem::MemorySystem>(
+            base + ".vertexMem", eq, cfg.vertexMem, 1);
+        mem::CacheConfig ccfg;
+        ccfg.sizeBytes = cfg.cacheBytesPerPe;
+        ccfg.lineBytes = cfg.blockBytes;
+        ccfg.numMshrs = cfg.cacheMshrs;
+        ccfg.hitLatency = cfg.clockPeriod();
+        p.cache = std::make_unique<mem::DirectMappedCache>(
+            base + ".cache", eq, ccfg, *p.vertexMem);
+        p.vmu = std::make_unique<Vmu>(base + ".vmu", eq, cfg, *p.store,
+                                      *p.vertexMem, program);
+        p.mpu = std::make_unique<Mpu>(base + ".mpu", eq, cfg, pe, *p.store,
+                                      *p.cache, *net, *p.vmu, program, map,
+                                      counters);
+        p.mgu = std::make_unique<Mgu>(base + ".mgu", eq, cfg, pe, *p.store,
+                                      *edge_mems[pe / cfg.pesPerGpn], *net,
+                                      *p.vmu, program, map, counters);
+    }
+    for (auto &p : pes)
+        p.mpu->startup();
+
+    const bool bsp = program.mode() == ExecMode::Bsp;
+
+    // Pre-bucket scheduled activations (BSP level schedules).
+    std::map<std::int64_t, std::vector<graph::VertexId>> schedule;
+    if (bsp) {
+        for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+            const std::int64_t k = program.scheduledActivation(v);
+            if (k >= 0)
+                schedule[k].push_back(v);
+        }
+    }
+
+    auto inject = [&](graph::VertexId v) {
+        const std::uint32_t pe = map.partOf(v);
+        const graph::VertexId local = map.localOf(v);
+        pes[pe].vmu->activate(
+            local, program.propagateValue(pes[pe].store->cur(local), v));
+    };
+
+    // Initial activations: the program's explicit set plus, in BSP
+    // mode, everything scheduled for iteration 0.
+    for (const graph::VertexId v : program.initialActive())
+        inject(v);
+    if (bsp) {
+        auto it = schedule.find(0);
+        if (it != schedule.end()) {
+            for (const graph::VertexId v : it->second)
+                inject(v);
+            schedule.erase(it);
+        }
+    }
+    // The MGUs pull once everything is wired; startup after injection
+    // so initial entries are visible.
+    for (auto &p : pes)
+        p.mgu->startup();
+
+    RunResult result;
+    std::uint64_t iter = 0;
+    for (;;) {
+        eq.run();
+        NOVA_ASSERT(net->messagesInNetwork() == 0,
+                    "drained with messages in flight");
+        if (!bsp)
+            break;
+
+        ++iter;
+        result.bspIterations = iter;
+
+        // Barrier: apply the program to every touched vertex and
+        // gather next-iteration activations.
+        std::vector<graph::VertexId> next_active;
+        for (std::uint32_t pe = 0; pe < num_pes; ++pe) {
+            VertexStore &store = *pes[pe].store;
+            for (const graph::VertexId local : pes[pe].mpu->touched()) {
+                const graph::VertexId v = store.globalOf(local);
+                const workloads::BarrierOutcome out = program.bspApply(
+                    store.cur(local), store.acc(local), v);
+                store.cur(local) = out.newCur;
+                store.acc(local) = out.newAcc;
+                if (out.active)
+                    next_active.push_back(v);
+            }
+            pes[pe].mpu->clearTouched();
+        }
+
+        if (iter >= program.maxIterations())
+            break;
+
+        // Fold in this iteration's scheduled activations; skip ahead
+        // over empty iterations when only later schedules remain.
+        bool injected = false;
+        auto it = schedule.find(static_cast<std::int64_t>(iter));
+        if (it != schedule.end()) {
+            for (const graph::VertexId v : it->second) {
+                inject(v);
+                injected = true;
+            }
+            schedule.erase(it);
+        }
+        for (const graph::VertexId v : next_active) {
+            inject(v);
+            injected = true;
+        }
+        if (!injected) {
+            if (schedule.empty())
+                break;
+            continue; // later scheduled work exists; advance iterations
+        }
+    }
+
+    // Invariants at quiescence: nothing tracked, buffered or queued.
+    for (auto &p : pes) {
+        NOVA_ASSERT(p.vmu->pendingWork() == 0,
+                    "quiescent with pending VMU work");
+    }
+
+    result.ticks = eq.now();
+    result.props.resize(g.numVertices());
+    for (graph::VertexId v = 0; v < g.numVertices(); ++v)
+        result.props[v] =
+            pes[map.partOf(v)].store->cur(map.localOf(v));
+    result.messagesProcessed = counters.messagesProcessed;
+    result.messagesGenerated = counters.messagesGenerated;
+
+    double coalesced = 0;
+    double useful_prefetch = 0, wasteful_prefetch = 0;
+    double cache_hits = 0, cache_misses = 0, cache_writebacks = 0;
+    double vmem_read = 0, vmem_written = 0;
+    double send_stalls = 0, direct_inserts = 0, spills = 0;
+    double fifo_writes = 0, reconciliations = 0;
+    double verts_propagated = 0, mshr_rejects = 0;
+    double vmem_qlat = 0, vmem_qn = 0;
+    for (auto &p : pes) {
+        coalesced += p.vmu->coalescedUpdates.value() +
+                     p.mpu->bspCoalesced.value();
+        useful_prefetch += p.vmu->usefulPrefetchBytes.value();
+        wasteful_prefetch += p.vmu->wastefulPrefetchBytes.value();
+        cache_hits += p.cache->hits.value();
+        cache_misses += p.cache->misses.value();
+        cache_writebacks += p.cache->writebacks.value();
+        vmem_read += p.vertexMem->channel(0).bytesRead.value();
+        vmem_written += p.vertexMem->channel(0).bytesWritten.value();
+        send_stalls += p.mgu->sendStalls.value();
+        direct_inserts += p.vmu->directInserts.value();
+        spills += p.vmu->spills.value();
+        fifo_writes += p.vmu->fifoWrites.value();
+        reconciliations += p.vmu->counterReconciliations.value();
+        verts_propagated += p.mgu->verticesPropagated.value();
+        mshr_rejects += p.cache->mshrRejects.value();
+        vmem_qlat += p.vertexMem->channel(0).totalQueueLatency.value();
+        vmem_qn += p.vertexMem->channel(0).numAccesses.value();
+    }
+    result.coalescedUpdates = static_cast<std::uint64_t>(coalesced);
+
+    double edge_bytes = 0, edge_peak = 0;
+    for (auto &em : edge_mems) {
+        edge_bytes += em->totalBytes();
+        edge_peak += em->peakBytesPerSec();
+    }
+    const double seconds = result.seconds();
+    auto &extra = result.extra;
+    extra["vertexMem.bytesRead"] = vmem_read;
+    extra["vertexMem.bytesWritten"] = vmem_written;
+    extra["vertexMem.usefulPrefetchBytes"] = useful_prefetch;
+    extra["vertexMem.wastefulPrefetchBytes"] = wasteful_prefetch;
+    extra["vertexMem.peakBytesPerSec"] =
+        cfg.vertexMem.peakBytesPerSec() * num_pes;
+    extra["edgeMem.bytes"] = edge_bytes;
+    extra["edgeMem.peakBytesPerSec"] = edge_peak;
+    extra["edgeMem.utilization"] =
+        seconds > 0 && edge_peak > 0 ? edge_bytes / (edge_peak * seconds)
+                                     : 0;
+    extra["mgu.sendStalls"] = send_stalls;
+    extra["mgu.verticesPropagated"] = verts_propagated;
+    extra["vmu.directInserts"] = direct_inserts;
+    extra["vmu.spills"] = spills;
+    extra["vmu.fifoWrites"] = fifo_writes;
+    extra["vmu.counterReconciliations"] = reconciliations;
+    extra["cache.mshrRejects"] = mshr_rejects;
+    extra["vertexMem.avgQueueLatency"] =
+        vmem_qn > 0 ? vmem_qlat / vmem_qn : 0;
+    double edge_qlat = 0, edge_qn = 0;
+    double edge_rowhits = 0, edge_rowmiss = 0;
+    for (auto &em : edge_mems) {
+        for (std::uint32_t c = 0; c < em->numChannels(); ++c) {
+            edge_qlat += em->channel(c).totalQueueLatency.value();
+            edge_qn += em->channel(c).numAccesses.value();
+            edge_rowhits += em->channel(c).rowHits.value();
+            edge_rowmiss += em->channel(c).rowMisses.value();
+        }
+    }
+    extra["edgeMem.rowHits"] = edge_rowhits;
+    extra["edgeMem.rowMisses"] = edge_rowmiss;
+    extra["edgeMem.avgQueueLatency"] =
+        edge_qn > 0 ? edge_qlat / edge_qn : 0;
+    extra["net.sendRejects"] = net->sendRejects.value();
+    extra["cache.hits"] = cache_hits;
+    extra["cache.misses"] = cache_misses;
+    extra["cache.writebacks"] = cache_writebacks;
+    extra["net.messages"] = net->messagesSent.value();
+    extra["net.bytes"] = net->bytesSent.value();
+    extra["net.crossGpnMessages"] = net->crossGpnMessages.value();
+    extra["net.selfMessages"] = net->selfMessages.value();
+    extra["net.avgLatency"] =
+        net->messagesSent.value() + net->selfMessages.value() > 0
+            ? net->totalLatency.value() /
+                  (net->messagesSent.value() + net->selfMessages.value())
+            : 0;
+    return result;
+}
+
+} // namespace nova::core

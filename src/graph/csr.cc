@@ -1,0 +1,133 @@
+#include "graph/csr.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace nova::graph
+{
+
+Csr::Csr(std::vector<EdgeId> row_ptr, std::vector<VertexId> dests,
+         std::vector<Weight> weights)
+    : row(std::move(row_ptr)), dst(std::move(dests)), wgt(std::move(weights))
+{
+    NOVA_ASSERT(!row.empty(), "row pointer must have at least one entry");
+    NOVA_ASSERT(row.front() == 0, "row pointer must start at zero");
+    NOVA_ASSERT(row.back() == dst.size(), "row pointer end mismatch");
+    NOVA_ASSERT(std::is_sorted(row.begin(), row.end()),
+                "row pointer must be non-decreasing");
+    NOVA_ASSERT(wgt.empty() || wgt.size() == dst.size(),
+                "weights must be empty or per-edge");
+    const VertexId n = numVertices();
+    for (VertexId d : dst)
+        NOVA_ASSERT(d < n, "edge destination out of range");
+}
+
+std::uint64_t
+Csr::footprintBytes() const
+{
+    return std::uint64_t(numVertices()) * 16 + numEdges() * 8;
+}
+
+Csr
+buildCsr(const EdgeList &list, const BuildOptions &opts)
+{
+    const VertexId n = list.numVertices;
+    std::vector<Edge> edges;
+    edges.reserve(list.edges.size());
+    for (const Edge &e : list.edges) {
+        NOVA_ASSERT(e.src < n && e.dst < n, "edge endpoint out of range");
+        if (opts.dropSelfLoops && e.src == e.dst)
+            continue;
+        edges.push_back(e);
+    }
+
+    if (opts.sortNeighbors || opts.dedup) {
+        std::sort(edges.begin(), edges.end(),
+                  [](const Edge &a, const Edge &b) {
+                      if (a.src != b.src)
+                          return a.src < b.src;
+                      if (a.dst != b.dst)
+                          return a.dst < b.dst;
+                      return a.weight < b.weight;
+                  });
+    } else {
+        std::stable_sort(edges.begin(), edges.end(),
+                         [](const Edge &a, const Edge &b) {
+                             return a.src < b.src;
+                         });
+    }
+
+    if (opts.dedup) {
+        edges.erase(std::unique(edges.begin(), edges.end(),
+                                [](const Edge &a, const Edge &b) {
+                                    return a.src == b.src && a.dst == b.dst;
+                                }),
+                    edges.end());
+    }
+
+    std::vector<EdgeId> row(static_cast<std::size_t>(n) + 1, 0);
+    for (const Edge &e : edges)
+        ++row[e.src + 1];
+    std::partial_sum(row.begin(), row.end(), row.begin());
+
+    std::vector<VertexId> dst(edges.size());
+    std::vector<Weight> wgt;
+    const bool any_weighted =
+        std::any_of(edges.begin(), edges.end(),
+                    [](const Edge &e) { return e.weight != 1; });
+    if (any_weighted)
+        wgt.resize(edges.size());
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        dst[i] = edges[i].dst;
+        if (any_weighted)
+            wgt[i] = edges[i].weight;
+    }
+    return Csr(std::move(row), std::move(dst), std::move(wgt));
+}
+
+Csr
+symmetrize(const Csr &g)
+{
+    EdgeList list;
+    list.numVertices = g.numVertices();
+    list.edges.reserve(g.numEdges() * 2);
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        for (EdgeId e = g.edgeBegin(v); e < g.edgeEnd(v); ++e) {
+            list.edges.push_back({v, g.edgeDest(e), g.edgeWeight(e)});
+            list.edges.push_back({g.edgeDest(e), v, g.edgeWeight(e)});
+        }
+    }
+    BuildOptions opts;
+    opts.dedup = true;
+    return buildCsr(list, opts);
+}
+
+Csr
+transpose(const Csr &g)
+{
+    EdgeList list;
+    list.numVertices = g.numVertices();
+    list.edges.reserve(g.numEdges());
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        for (EdgeId e = g.edgeBegin(v); e < g.edgeEnd(v); ++e)
+            list.edges.push_back({g.edgeDest(e), v, g.edgeWeight(e)});
+    return buildCsr(list);
+}
+
+Csr
+applyPermutation(const Csr &g, const std::vector<VertexId> &perm)
+{
+    NOVA_ASSERT(perm.size() == g.numVertices(), "permutation size mismatch");
+    EdgeList list;
+    list.numVertices = g.numVertices();
+    list.edges.reserve(g.numEdges());
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        for (EdgeId e = g.edgeBegin(v); e < g.edgeEnd(v); ++e)
+            list.edges.push_back(
+                {perm[v], perm[g.edgeDest(e)], g.edgeWeight(e)});
+    return buildCsr(list);
+}
+
+} // namespace nova::graph

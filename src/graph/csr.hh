@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Compressed sparse row (CSR) graph representation.
+ *
+ * This is the canonical in-memory graph format for the whole repository:
+ * generators produce it, partitioners slice it, and both the NOVA model
+ * and the baselines consume it. Edge weights are optional; unweighted
+ * graphs report weight 1 for every edge.
+ */
+
+#ifndef NOVA_GRAPH_CSR_HH
+#define NOVA_GRAPH_CSR_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nova::graph
+{
+
+/** Vertex identifier. Scaled inputs stay well below 2^32 vertices. */
+using VertexId = std::uint32_t;
+
+/** Edge index into the CSR arrays. */
+using EdgeId = std::uint64_t;
+
+/** Edge weight; SSSP interprets it as a distance. */
+using Weight = std::uint32_t;
+
+/** A single directed edge, used during construction. */
+struct Edge
+{
+    VertexId src;
+    VertexId dst;
+    Weight weight = 1;
+};
+
+/** An owning list of edges plus the vertex-count bound. */
+struct EdgeList
+{
+    VertexId numVertices = 0;
+    std::vector<Edge> edges;
+};
+
+/**
+ * An immutable directed graph in CSR form.
+ *
+ * Neighbors of vertex v occupy dests[rowPtr[v] .. rowPtr[v+1]).
+ */
+class Csr
+{
+  public:
+    Csr() = default;
+
+    /**
+     * Build from components.
+     * @param row_ptr  numVertices+1 offsets, non-decreasing.
+     * @param dests    destination vertex per edge.
+     * @param weights  empty (unweighted) or one weight per edge.
+     */
+    Csr(std::vector<EdgeId> row_ptr, std::vector<VertexId> dests,
+        std::vector<Weight> weights = {});
+
+    VertexId numVertices() const
+    {
+        return row.empty() ? 0 : static_cast<VertexId>(row.size() - 1);
+    }
+
+    EdgeId numEdges() const { return dst.size(); }
+
+    bool weighted() const { return !wgt.empty(); }
+
+    /** Out-degree of a vertex. */
+    EdgeId degree(VertexId v) const { return row[v + 1] - row[v]; }
+
+    /** First edge index of a vertex. */
+    EdgeId edgeBegin(VertexId v) const { return row[v]; }
+
+    /** One-past-last edge index of a vertex. */
+    EdgeId edgeEnd(VertexId v) const { return row[v + 1]; }
+
+    /** Destination of edge e. */
+    VertexId edgeDest(EdgeId e) const { return dst[e]; }
+
+    /** Weight of edge e (1 when unweighted). */
+    Weight edgeWeight(EdgeId e) const { return wgt.empty() ? 1 : wgt[e]; }
+
+    /** The neighbors of v as a contiguous span. */
+    std::span<const VertexId>
+    neighbors(VertexId v) const
+    {
+        return {dst.data() + row[v], dst.data() + row[v + 1]};
+    }
+
+    const std::vector<EdgeId> &rowPtr() const { return row; }
+    const std::vector<VertexId> &dests() const { return dst; }
+    const std::vector<Weight> &weights() const { return wgt; }
+
+    /**
+     * Nominal memory footprint in bytes using the paper's accounting:
+     * 16 B per vertex (Sec. VI-E) plus 8 B per edge.
+     */
+    std::uint64_t footprintBytes() const;
+
+  private:
+    std::vector<EdgeId> row;
+    std::vector<VertexId> dst;
+    std::vector<Weight> wgt;
+};
+
+/** Options controlling CSR construction from an edge list. */
+struct BuildOptions
+{
+    /** Sort each adjacency list by destination id. */
+    bool sortNeighbors = true;
+    /** Remove duplicate (src, dst) pairs, keeping the smallest weight. */
+    bool dedup = false;
+    /** Drop self loops. */
+    bool dropSelfLoops = false;
+};
+
+/** Build a CSR from an edge list. */
+Csr buildCsr(const EdgeList &list, const BuildOptions &opts = {});
+
+/**
+ * Return the symmetric closure of g: for every edge (u, v) the result
+ * also contains (v, u) with the same weight. Duplicates are removed.
+ */
+Csr symmetrize(const Csr &g);
+
+/** Return the transpose (all edges reversed). */
+Csr transpose(const Csr &g);
+
+/**
+ * Apply a relabelling permutation: vertex v becomes perm[v].
+ * @pre perm is a permutation of [0, numVertices).
+ */
+Csr applyPermutation(const Csr &g, const std::vector<VertexId> &perm);
+
+} // namespace nova::graph
+
+#endif // NOVA_GRAPH_CSR_HH

@@ -1,0 +1,194 @@
+#include "graph/generators.hh"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace nova::graph
+{
+
+using sim::Rng;
+
+namespace
+{
+
+/** Smallest power of two >= n. */
+VertexId
+ceilPow2(VertexId n)
+{
+    return n <= 1 ? 1 : std::bit_ceil(n);
+}
+
+Weight
+sampleWeight(Rng &rng, Weight max_weight)
+{
+    return max_weight <= 1
+               ? 1
+               : static_cast<Weight>(rng.nextRange(1, max_weight));
+}
+
+} // namespace
+
+Csr
+generateRmat(const RmatParams &p)
+{
+    NOVA_ASSERT(p.a + p.b + p.c < 1.0, "RMAT probabilities must sum < 1");
+    Rng rng(p.seed);
+    const VertexId side = ceilPow2(p.numVertices);
+    const int levels = std::countr_zero(side);
+
+    // Scramble ids so high-degree vertices are spread across the id
+    // space (the raw RMAT model concentrates hubs at low ids).
+    std::vector<VertexId> scramble(side);
+    std::iota(scramble.begin(), scramble.end(), 0);
+    for (VertexId i = side; i > 1; --i) {
+        const auto j = static_cast<VertexId>(rng.nextBounded(i));
+        std::swap(scramble[i - 1], scramble[j]);
+    }
+
+    EdgeList list;
+    list.numVertices = p.numVertices;
+    list.edges.reserve(p.numEdges);
+
+    const double ab = p.a + p.b;
+    const double abc = p.a + p.b + p.c;
+    while (list.edges.size() < p.numEdges) {
+        VertexId u = 0, v = 0;
+        for (int level = 0; level < levels; ++level) {
+            const double r = rng.nextDouble();
+            u <<= 1;
+            v <<= 1;
+            if (r < p.a) {
+                // top-left quadrant: no bits set
+            } else if (r < ab) {
+                v |= 1;
+            } else if (r < abc) {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        u = scramble[u];
+        v = scramble[v];
+        if (u >= p.numVertices || v >= p.numVertices || u == v)
+            continue;
+        list.edges.push_back({u, v, sampleWeight(rng, p.maxWeight)});
+    }
+    return buildCsr(list);
+}
+
+Csr
+generateUniform(const UniformParams &p)
+{
+    NOVA_ASSERT(p.numVertices > 1, "need at least two vertices");
+    Rng rng(p.seed);
+    EdgeList list;
+    list.numVertices = p.numVertices;
+    list.edges.reserve(p.numEdges);
+    while (list.edges.size() < p.numEdges) {
+        const auto u = static_cast<VertexId>(rng.nextBounded(p.numVertices));
+        const auto v = static_cast<VertexId>(rng.nextBounded(p.numVertices));
+        if (u == v)
+            continue;
+        list.edges.push_back({u, v, sampleWeight(rng, p.maxWeight)});
+    }
+    return buildCsr(list);
+}
+
+Csr
+generateRoadGrid(const RoadGridParams &p)
+{
+    NOVA_ASSERT(p.width >= 2 && p.height >= 2, "grid too small");
+    Rng rng(p.seed);
+    const VertexId n = p.width * p.height;
+    auto id = [&](VertexId x, VertexId y) { return y * p.width + x; };
+
+    EdgeList list;
+    list.numVertices = n;
+    list.edges.reserve(static_cast<std::size_t>(n) * 2);
+    auto addBidi = [&](VertexId u, VertexId v) {
+        const Weight w = sampleWeight(rng, p.maxWeight);
+        list.edges.push_back({u, v, w});
+        list.edges.push_back({v, u, w});
+    };
+
+    for (VertexId y = 0; y < p.height; ++y) {
+        for (VertexId x = 0; x < p.width; ++x) {
+            if (x + 1 < p.width && !rng.nextBool(p.dropFraction))
+                addBidi(id(x, y), id(x + 1, y));
+            if (y + 1 < p.height && !rng.nextBool(p.dropFraction))
+                addBidi(id(x, y), id(x, y + 1));
+        }
+    }
+
+    // A few long-range "highways" keep the graph mostly connected even
+    // with dropped lattice edges, as real road networks have.
+    const auto num_highways =
+        static_cast<EdgeId>(p.highwayFraction * static_cast<double>(n));
+    for (EdgeId i = 0; i < num_highways; ++i) {
+        const auto u = static_cast<VertexId>(rng.nextBounded(n));
+        const auto v = static_cast<VertexId>(rng.nextBounded(n));
+        if (u != v)
+            addBidi(u, v);
+    }
+    BuildOptions opts;
+    opts.dedup = true;
+    return buildCsr(list, opts);
+}
+
+Csr
+generatePath(VertexId n, Weight w)
+{
+    EdgeList list;
+    list.numVertices = n;
+    for (VertexId v = 0; v + 1 < n; ++v)
+        list.edges.push_back({v, v + 1, w});
+    return buildCsr(list);
+}
+
+Csr
+generateStar(VertexId n)
+{
+    EdgeList list;
+    list.numVertices = n;
+    for (VertexId v = 1; v < n; ++v)
+        list.edges.push_back({0, v, 1});
+    return buildCsr(list);
+}
+
+Csr
+generateComplete(VertexId n)
+{
+    EdgeList list;
+    list.numVertices = n;
+    for (VertexId u = 0; u < n; ++u)
+        for (VertexId v = 0; v < n; ++v)
+            if (u != v)
+                list.edges.push_back({u, v, 1});
+    return buildCsr(list);
+}
+
+Csr
+generateCycle(VertexId n)
+{
+    EdgeList list;
+    list.numVertices = n;
+    for (VertexId v = 0; v < n; ++v)
+        list.edges.push_back({v, static_cast<VertexId>((v + 1) % n), 1});
+    return buildCsr(list);
+}
+
+Csr
+withRandomWeights(const Csr &g, Weight max_weight, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Weight> wgt(g.numEdges());
+    for (auto &w : wgt)
+        w = sampleWeight(rng, max_weight);
+    return Csr(g.rowPtr(), g.dests(), std::move(wgt));
+}
+
+} // namespace nova::graph

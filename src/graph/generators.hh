@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Synthetic graph generators used to stand in for the paper's inputs.
+ *
+ * The paper evaluates on RoadUSA, Twitter, Friendster, Host (WDC12
+ * subset) and Urand (Table III). Those inputs are billions of edges; we
+ * generate structurally equivalent scaled graphs: RMAT / Kronecker for
+ * the skewed social/web graphs, a uniform random (Erdős–Rényi style)
+ * graph for Urand, and a 2-D road grid for RoadUSA. See DESIGN.md §3.
+ */
+
+#ifndef NOVA_GRAPH_GENERATORS_HH
+#define NOVA_GRAPH_GENERATORS_HH
+
+#include <cstdint>
+
+#include "graph/csr.hh"
+#include "sim/random.hh"
+
+namespace nova::graph
+{
+
+/** Parameters for the RMAT / Kronecker generator. */
+struct RmatParams
+{
+    /** Number of vertices (rounded up to a power of two internally). */
+    VertexId numVertices = 1 << 16;
+    /** Number of directed edges to sample. */
+    EdgeId numEdges = 1 << 20;
+    /** Quadrant probabilities (Graph500 defaults). */
+    double a = 0.57, b = 0.19, c = 0.19;
+    /** Maximum edge weight; weights are uniform in [1, maxWeight]. */
+    Weight maxWeight = 1;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Generate a skewed scale-free graph with the RMAT recursive model.
+ * Vertex ids are scrambled so degree does not correlate with id.
+ */
+Csr generateRmat(const RmatParams &p);
+
+/** Parameters for the uniform random generator ("Urand" of the paper). */
+struct UniformParams
+{
+    VertexId numVertices = 1 << 16;
+    EdgeId numEdges = 1 << 20;
+    Weight maxWeight = 1;
+    std::uint64_t seed = 1;
+};
+
+/** Generate an Erdős–Rényi style uniform random directed graph. */
+Csr generateUniform(const UniformParams &p);
+
+/** Parameters for the road-network style grid generator. */
+struct RoadGridParams
+{
+    /** Grid width and height; vertices = width * height. */
+    VertexId width = 256;
+    VertexId height = 256;
+    /** Fraction of lattice edges randomly removed (irregularity). */
+    double dropFraction = 0.05;
+    /** Fraction of extra long-range "highway" edges added. */
+    double highwayFraction = 0.001;
+    Weight maxWeight = 255;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Generate a high-diameter, low-degree planar-ish road network: a 2-D
+ * lattice with some edges dropped and a few long-range shortcuts,
+ * symmetric, with uniform random weights. Structurally mirrors RoadUSA
+ * (avg degree ~2.4, huge diameter).
+ */
+Csr generateRoadGrid(const RoadGridParams &p);
+
+/** A simple directed path 0 -> 1 -> ... -> n-1 (tests and examples). */
+Csr generatePath(VertexId n, Weight w = 1);
+
+/** A star: vertex 0 points at all others (tests). */
+Csr generateStar(VertexId n);
+
+/** A fully connected directed graph without self loops (tests). */
+Csr generateComplete(VertexId n);
+
+/** A directed cycle 0 -> 1 -> ... -> n-1 -> 0 (tests). */
+Csr generateCycle(VertexId n);
+
+/**
+ * Attach uniform random weights in [1, max_weight] to every edge of an
+ * unweighted graph (used to make SSSP inputs).
+ */
+Csr withRandomWeights(const Csr &g, Weight max_weight, std::uint64_t seed);
+
+} // namespace nova::graph
+
+#endif // NOVA_GRAPH_GENERATORS_HH

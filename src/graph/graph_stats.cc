@@ -1,0 +1,119 @@
+#include "graph/graph_stats.hh"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+namespace nova::graph
+{
+
+namespace
+{
+
+/**
+ * BFS over the symmetrized adjacency from `source`; returns the depth
+ * vector (~0u for unreached) and the farthest vertex found.
+ */
+std::pair<std::vector<VertexId>, VertexId>
+undirectedBfs(const Csr &g, const Csr &rev, VertexId source)
+{
+    constexpr VertexId unreached = ~VertexId(0);
+    std::vector<VertexId> depth(g.numVertices(), unreached);
+    std::deque<VertexId> queue;
+    depth[source] = 0;
+    queue.push_back(source);
+    VertexId farthest = source;
+    while (!queue.empty()) {
+        const VertexId v = queue.front();
+        queue.pop_front();
+        if (depth[v] > depth[farthest])
+            farthest = v;
+        auto visit = [&](VertexId w) {
+            if (depth[w] == unreached) {
+                depth[w] = depth[v] + 1;
+                queue.push_back(w);
+            }
+        };
+        for (VertexId w : g.neighbors(v))
+            visit(w);
+        for (VertexId w : rev.neighbors(v))
+            visit(w);
+    }
+    return {std::move(depth), farthest};
+}
+
+} // namespace
+
+VertexId
+highestDegreeVertex(const Csr &g)
+{
+    VertexId best = 0;
+    for (VertexId v = 1; v < g.numVertices(); ++v)
+        if (g.degree(v) > g.degree(best))
+            best = v;
+    return best;
+}
+
+GraphStats
+computeStats(const Csr &g)
+{
+    GraphStats s;
+    s.numVertices = g.numVertices();
+    s.numEdges = g.numEdges();
+    s.avgDegree = s.numVertices == 0
+                      ? 0
+                      : static_cast<double>(s.numEdges) /
+                            static_cast<double>(s.numVertices);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        s.maxDegree = std::max(s.maxDegree, g.degree(v));
+    s.footprintBytes = g.footprintBytes();
+
+    if (s.numVertices == 0)
+        return s;
+
+    // Weakly connected components via BFS over g plus its transpose.
+    const Csr rev = transpose(g);
+    constexpr VertexId unvisited = ~VertexId(0);
+    std::vector<VertexId> comp(g.numVertices(), unvisited);
+    std::deque<VertexId> queue;
+    VertexId num_comp = 0;
+    VertexId largest = 0;
+    VertexId largest_root = 0;
+    for (VertexId root = 0; root < g.numVertices(); ++root) {
+        if (comp[root] != unvisited)
+            continue;
+        const VertexId cid = num_comp++;
+        VertexId size = 0;
+        comp[root] = cid;
+        queue.push_back(root);
+        while (!queue.empty()) {
+            const VertexId v = queue.front();
+            queue.pop_front();
+            ++size;
+            auto visit = [&](VertexId w) {
+                if (comp[w] == unvisited) {
+                    comp[w] = cid;
+                    queue.push_back(w);
+                }
+            };
+            for (VertexId w : g.neighbors(v))
+                visit(w);
+            for (VertexId w : rev.neighbors(v))
+                visit(w);
+        }
+        if (size > largest) {
+            largest = size;
+            largest_root = root;
+        }
+    }
+    s.numComponents = num_comp;
+    s.largestComponent = largest;
+
+    // Double-sweep diameter lower bound inside the largest component.
+    auto [depth1, far1] = undirectedBfs(g, rev, largest_root);
+    auto [depth2, far2] = undirectedBfs(g, rev, far1);
+    s.approxDiameter = depth2[far2];
+    return s;
+}
+
+} // namespace nova::graph

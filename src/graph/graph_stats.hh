@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Structural statistics of a graph (Table III style inventory).
+ */
+
+#ifndef NOVA_GRAPH_GRAPH_STATS_HH
+#define NOVA_GRAPH_GRAPH_STATS_HH
+
+#include <cstdint>
+
+#include "graph/csr.hh"
+
+namespace nova::graph
+{
+
+/** Summary statistics of one input graph. */
+struct GraphStats
+{
+    VertexId numVertices = 0;
+    EdgeId numEdges = 0;
+    double avgDegree = 0;
+    EdgeId maxDegree = 0;
+    /** 16 B/vertex + 8 B/edge, the paper's accounting. */
+    std::uint64_t footprintBytes = 0;
+    /** Weakly connected components (on the symmetrized graph). */
+    VertexId numComponents = 0;
+    /** Size of the largest weakly connected component. */
+    VertexId largestComponent = 0;
+    /** Lower bound on diameter from a double BFS sweep. */
+    VertexId approxDiameter = 0;
+};
+
+/** Compute all statistics; component/diameter passes are O(V + E). */
+GraphStats computeStats(const Csr &g);
+
+/**
+ * The highest-out-degree vertex: the canonical traversal source for
+ * experiments (deterministic, guaranteed to have work).
+ */
+VertexId highestDegreeVertex(const Csr &g);
+
+} // namespace nova::graph
+
+#endif // NOVA_GRAPH_GRAPH_STATS_HH

@@ -1,0 +1,145 @@
+#include "graph/io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace nova::graph
+{
+
+namespace
+{
+
+constexpr char binaryMagic[8] = {'N', 'O', 'V', 'A', 'C', 'S', 'R', '1'};
+
+template <typename T>
+void
+writePod(std::ostream &out, const T &value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &in)
+{
+    T value{};
+    in.read(reinterpret_cast<char *>(&value), sizeof(T));
+    if (!in)
+        sim::fatal("truncated binary graph stream");
+    return value;
+}
+
+template <typename T>
+void
+writeVec(std::ostream &out, const std::vector<T> &vec)
+{
+    writePod<std::uint64_t>(out, vec.size());
+    out.write(reinterpret_cast<const char *>(vec.data()),
+              static_cast<std::streamsize>(vec.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T>
+readVec(std::istream &in)
+{
+    const auto n = readPod<std::uint64_t>(in);
+    std::vector<T> vec(n);
+    in.read(reinterpret_cast<char *>(vec.data()),
+            static_cast<std::streamsize>(n * sizeof(T)));
+    if (!in)
+        sim::fatal("truncated binary graph stream");
+    return vec;
+}
+
+} // namespace
+
+EdgeList
+readEdgeList(std::istream &in, VertexId num_vertices_hint)
+{
+    EdgeList list;
+    list.numVertices = num_vertices_hint;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#' || line[0] == '%')
+            continue;
+        std::istringstream ls(line);
+        std::uint64_t u, v;
+        if (!(ls >> u >> v))
+            sim::fatal("malformed edge list line: '", line, "'");
+        std::uint64_t w = 1;
+        ls >> w;
+        list.edges.push_back({static_cast<VertexId>(u),
+                              static_cast<VertexId>(v),
+                              static_cast<Weight>(w)});
+        const auto hi = static_cast<VertexId>(std::max(u, v) + 1);
+        list.numVertices = std::max(list.numVertices, hi);
+    }
+    return list;
+}
+
+Csr
+loadEdgeListFile(const std::string &path, const BuildOptions &opts)
+{
+    std::ifstream in(path);
+    if (!in)
+        sim::fatal("cannot open edge list file '", path, "'");
+    return buildCsr(readEdgeList(in), opts);
+}
+
+void
+writeEdgeList(const Csr &g, std::ostream &out)
+{
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        for (EdgeId e = g.edgeBegin(v); e < g.edgeEnd(v); ++e) {
+            out << v << ' ' << g.edgeDest(e);
+            if (g.weighted())
+                out << ' ' << g.edgeWeight(e);
+            out << '\n';
+        }
+    }
+}
+
+void
+writeBinary(const Csr &g, std::ostream &out)
+{
+    out.write(binaryMagic, sizeof(binaryMagic));
+    writeVec(out, g.rowPtr());
+    writeVec(out, g.dests());
+    writeVec(out, g.weights());
+}
+
+Csr
+readBinary(std::istream &in)
+{
+    char magic[8];
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, binaryMagic, sizeof(magic)) != 0)
+        sim::fatal("not a NOVA binary graph stream");
+    auto row = readVec<EdgeId>(in);
+    auto dst = readVec<VertexId>(in);
+    auto wgt = readVec<Weight>(in);
+    return Csr(std::move(row), std::move(dst), std::move(wgt));
+}
+
+void
+saveBinaryFile(const Csr &g, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        sim::fatal("cannot create file '", path, "'");
+    writeBinary(g, out);
+}
+
+Csr
+loadBinaryFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        sim::fatal("cannot open file '", path, "'");
+    return readBinary(in);
+}
+
+} // namespace nova::graph

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Graph serialization: whitespace edge-list text and a compact binary
+ * CSR container, so users can bring their own inputs.
+ */
+
+#ifndef NOVA_GRAPH_IO_HH
+#define NOVA_GRAPH_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr.hh"
+
+namespace nova::graph
+{
+
+/**
+ * Parse a whitespace-separated edge list ("src dst [weight]" per line;
+ * '#' and '%' comment lines ignored). Vertex count is
+ * max(endpoint) + 1 unless a larger hint is given.
+ */
+EdgeList readEdgeList(std::istream &in, VertexId num_vertices_hint = 0);
+
+/** Load an edge list file and build a CSR. */
+Csr loadEdgeListFile(const std::string &path, const BuildOptions &opts = {});
+
+/** Write a graph as an edge-list text stream. */
+void writeEdgeList(const Csr &g, std::ostream &out);
+
+/** Serialize a CSR to the repository's binary container. */
+void writeBinary(const Csr &g, std::ostream &out);
+
+/** Deserialize a CSR written by writeBinary. */
+Csr readBinary(std::istream &in);
+
+/** Save a CSR to a binary file. */
+void saveBinaryFile(const Csr &g, const std::string &path);
+
+/** Load a CSR from a binary file. */
+Csr loadBinaryFile(const std::string &path);
+
+} // namespace nova::graph
+
+#endif // NOVA_GRAPH_IO_HH

@@ -1,0 +1,123 @@
+#include "graph/reorder.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace nova::graph
+{
+
+std::vector<VertexId>
+degreeSortPermutation(const Csr &g)
+{
+    const VertexId n = g.numVertices();
+    std::vector<VertexId> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](VertexId a, VertexId b) {
+                         return g.degree(a) > g.degree(b);
+                     });
+    std::vector<VertexId> perm(n);
+    for (VertexId rank = 0; rank < n; ++rank)
+        perm[order[rank]] = rank;
+    return perm;
+}
+
+std::vector<VertexId>
+bfsPermutation(const Csr &g)
+{
+    const VertexId n = g.numVertices();
+    const Csr rev = transpose(g);
+    constexpr VertexId unseen = ~VertexId(0);
+    std::vector<VertexId> perm(n, unseen);
+    std::deque<VertexId> queue;
+    VertexId next_id = 0;
+    for (VertexId root = 0; root < n; ++root) {
+        if (perm[root] != unseen)
+            continue;
+        perm[root] = next_id++;
+        queue.push_back(root);
+        while (!queue.empty()) {
+            const VertexId v = queue.front();
+            queue.pop_front();
+            auto visit = [&](VertexId w) {
+                if (perm[w] == unseen) {
+                    perm[w] = next_id++;
+                    queue.push_back(w);
+                }
+            };
+            for (VertexId w : g.neighbors(v))
+                visit(w);
+            for (VertexId w : rev.neighbors(v))
+                visit(w);
+        }
+    }
+    return perm;
+}
+
+std::vector<VertexId>
+communityPermutation(const Csr &g, VertexId max_community)
+{
+    const VertexId n = g.numVertices();
+    if (max_community == 0)
+        max_community = std::max<VertexId>(
+            8, static_cast<VertexId>(std::sqrt(
+                   static_cast<double>(n))));
+
+    constexpr VertexId unseen = ~VertexId(0);
+    std::vector<VertexId> perm(n, unseen);
+    std::deque<VertexId> queue;
+    VertexId next_id = 0;
+    for (VertexId root = 0; root < n; ++root) {
+        if (perm[root] != unseen)
+            continue;
+        VertexId members = 0;
+        perm[root] = next_id++;
+        ++members;
+        queue.clear();
+        queue.push_back(root);
+        while (!queue.empty() && members < max_community) {
+            const VertexId v = queue.front();
+            queue.pop_front();
+            for (VertexId w : g.neighbors(v)) {
+                if (perm[w] == unseen && members < max_community) {
+                    perm[w] = next_id++;
+                    ++members;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    return perm;
+}
+
+double
+averageEdgeSpan(const Csr &g)
+{
+    if (g.numEdges() == 0 || g.numVertices() == 0)
+        return 0;
+    double sum = 0;
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        for (VertexId w : g.neighbors(v))
+            sum += std::abs(static_cast<double>(v) -
+                            static_cast<double>(w));
+    return sum / static_cast<double>(g.numEdges()) /
+           static_cast<double>(g.numVertices());
+}
+
+void
+validatePermutation(const std::vector<VertexId> &perm, VertexId n)
+{
+    NOVA_ASSERT(perm.size() == n, "permutation size mismatch");
+    std::vector<std::uint8_t> seen(n, 0);
+    for (const VertexId p : perm) {
+        NOVA_ASSERT(p < n, "permutation target out of range");
+        NOVA_ASSERT(!seen[p], "duplicate permutation target");
+        seen[p] = 1;
+    }
+}
+
+} // namespace nova::graph

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Vertex reordering (graph preprocessing) utilities.
+ *
+ * The paper's Sec. II-C1 and IV-B discuss the cost/benefit of
+ * reordering: community-based orders (RABBIT [6]) improve locality but
+ * are expensive; lightweight orders (degree sort) are cheap; using the
+ * publisher's order costs nothing. These helpers produce relabelling
+ * permutations consumed by graph::applyPermutation and are used by the
+ * locality experiments.
+ */
+
+#ifndef NOVA_GRAPH_REORDER_HH
+#define NOVA_GRAPH_REORDER_HH
+
+#include <vector>
+
+#include "graph/csr.hh"
+
+namespace nova::graph
+{
+
+/**
+ * Degree-descending order ("hub sorting"): vertex with the highest
+ * out-degree becomes id 0. Cheap; clusters hot vertices.
+ */
+std::vector<VertexId> degreeSortPermutation(const Csr &g);
+
+/**
+ * BFS (Cuthill-McKee-like) order over the symmetrized adjacency:
+ * neighbours receive nearby ids, improving block/cache locality on
+ * high-diameter graphs.
+ */
+std::vector<VertexId> bfsPermutation(const Csr &g);
+
+/**
+ * Community-clustered order (lightweight RABBIT stand-in): bounded
+ * BFS communities laid out contiguously, communities ordered by
+ * discovery. @param max_community 0 picks ~sqrt(V).
+ */
+std::vector<VertexId> communityPermutation(const Csr &g,
+                                           VertexId max_community = 0);
+
+/**
+ * Average |id(u) - id(v)| over edges, normalised by |V| — a locality
+ * score in [0, 1]; lower is more local. Used to compare orders.
+ */
+double averageEdgeSpan(const Csr &g);
+
+/** Verify `perm` is a permutation of [0, n); panics otherwise. */
+void validatePermutation(const std::vector<VertexId> &perm, VertexId n);
+
+} // namespace nova::graph
+
+#endif // NOVA_GRAPH_REORDER_HH

@@ -1,0 +1,158 @@
+#include "mem/cache.hh"
+
+#include "sim/logging.hh"
+
+namespace nova::mem
+{
+
+DirectMappedCache::DirectMappedCache(std::string name,
+                                     sim::EventQueue &queue,
+                                     const CacheConfig &config,
+                                     MemorySystem &backing)
+    : SimObject(std::move(name), queue), cfg(config), mem(backing),
+      numLines(std::max<std::size_t>(1, cfg.sizeBytes / cfg.lineBytes)),
+      lines(numLines), mshrs(cfg.numMshrs)
+{
+    NOVA_ASSERT(cfg.lineBytes > 0 && cfg.numMshrs > 0);
+    for (std::size_t i = 0; i < mshrs.size(); ++i)
+        freeMshrs.push_back(i);
+
+    statistics().addScalar("hits", &hits);
+    statistics().addScalar("misses", &misses);
+    statistics().addScalar("evictions", &evictions);
+    statistics().addScalar("writebacks", &writebacks);
+    statistics().addScalar("mshrRejects", &mshrRejects);
+}
+
+bool
+DirectMappedCache::contains(sim::Addr addr) const
+{
+    const sim::Addr line_addr = lineAddrOf(addr);
+    const Line &line = lines[indexOf(line_addr)];
+    return line.valid && line.tag == tagOf(line_addr);
+}
+
+bool
+DirectMappedCache::access(sim::Addr addr, bool write, MemCallback done)
+{
+    const sim::Addr line_addr = lineAddrOf(addr);
+    Line &line = lines[indexOf(line_addr)];
+
+    if (line.valid && line.tag == tagOf(line_addr)) {
+        ++hits;
+        line.dirty = line.dirty || write;
+        eventQueue().scheduleIn(cfg.hitLatency, std::move(done));
+        return true;
+    }
+
+    // Miss: merge into an outstanding fill when one exists.
+    auto it = mshrByLine.find(line_addr);
+    if (it != mshrByLine.end()) {
+        ++misses;
+        mshrs[it->second].targets.emplace_back(write, std::move(done));
+        return true;
+    }
+
+    if (freeMshrs.empty()) {
+        ++mshrRejects;
+        return false;
+    }
+
+    ++misses;
+    const std::size_t slot = freeMshrs.back();
+    freeMshrs.pop_back();
+    mshrs[slot].lineAddr = line_addr;
+    mshrs[slot].targets.clear();
+    mshrs[slot].targets.emplace_back(write, std::move(done));
+    mshrs[slot].issued = false;
+    mshrByLine.emplace(line_addr, slot);
+    issueFill(slot);
+    return true;
+}
+
+void
+DirectMappedCache::waitForSpace(std::function<void()> retry)
+{
+    spaceWaiters.push_back(std::move(retry));
+}
+
+void
+DirectMappedCache::issueFill(std::size_t mshr_slot)
+{
+    Mshr &m = mshrs[mshr_slot];
+    const bool ok = mem.tryAccess(m.lineAddr, cfg.lineBytes, false,
+                                  [this, mshr_slot] {
+                                      fillDone(mshr_slot);
+                                  });
+    if (ok) {
+        m.issued = true;
+    } else {
+        mem.waitForSpace([this, mshr_slot] { issueFill(mshr_slot); });
+    }
+}
+
+void
+DirectMappedCache::fillDone(std::size_t mshr_slot)
+{
+    Mshr &m = mshrs[mshr_slot];
+    Line &line = lines[indexOf(m.lineAddr)];
+    const std::uint64_t new_tag = tagOf(m.lineAddr);
+
+    // Evict the victim only now that the fill data has arrived.
+    if (line.valid && line.tag != new_tag) {
+        ++evictions;
+        if (line.dirty) {
+            ++writebacks;
+            const sim::Addr victim_addr =
+                (line.tag * numLines + indexOf(m.lineAddr)) *
+                cfg.lineBytes;
+            if (evictHook)
+                evictHook(victim_addr);
+            postWriteback(victim_addr);
+        }
+    }
+
+    line.valid = true;
+    line.tag = new_tag;
+    line.dirty = false;
+    for (auto &[is_write, done] : m.targets) {
+        line.dirty = line.dirty || is_write;
+        if (done)
+            eventQueue().scheduleIn(0, std::move(done));
+    }
+    m.targets.clear();
+    mshrByLine.erase(m.lineAddr);
+    freeMshrs.push_back(mshr_slot);
+
+    if (!spaceWaiters.empty()) {
+        auto waiter = std::move(spaceWaiters.front());
+        spaceWaiters.erase(spaceWaiters.begin());
+        eventQueue().scheduleIn(0, std::move(waiter));
+    }
+}
+
+void
+DirectMappedCache::postWriteback(sim::Addr victim_addr)
+{
+    // Posted write-back, retried until the channel accepts it.
+    if (!mem.tryAccess(victim_addr, cfg.lineBytes, true, {}))
+        mem.waitForSpace([this, victim_addr] { postWriteback(victim_addr); });
+}
+
+void
+DirectMappedCache::flushAllDirty()
+{
+    for (std::size_t idx = 0; idx < lines.size(); ++idx) {
+        Line &line = lines[idx];
+        if (line.valid && line.dirty) {
+            ++writebacks;
+            const sim::Addr addr = (line.tag * numLines + idx) *
+                                   cfg.lineBytes;
+            if (evictHook)
+                evictHook(addr);
+            line.dirty = false;
+        }
+    }
+}
+
+} // namespace nova::mem

@@ -1,0 +1,329 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/logging.hh"
+
+namespace nova::mem
+{
+
+double
+DramTiming::peakBytesPerSec() const
+{
+    return static_cast<double>(accessBytes) /
+           (static_cast<double>(tBurst) / static_cast<double>(sim::tickS));
+}
+
+DramTiming
+DramTiming::hbm2Channel()
+{
+    DramTiming t;
+    t.accessBytes = 32;
+    t.tBurst = 1000;        // 32 B / 32 GB/s = 1 ns
+    t.numBanks = 32;        // 2 pseudo-channels x 16 banks
+    t.tRowHit = 14000;      // ~14 ns CAS
+    t.tRowMiss = 42000;     // ~42 ns PRE+ACT+CAS
+    t.rowBytes = 1024;
+    t.frontendLatency = 6000;
+    t.queueCapacity = 64;
+    t.issueGap = 250;
+    return t;
+}
+
+DramTiming
+DramTiming::ddr4Channel()
+{
+    DramTiming t;
+    t.accessBytes = 64;
+    t.tBurst = 3333;        // 64 B / 19.2 GB/s ≈ 3.33 ns
+    t.numBanks = 16;
+    t.tRowHit = 15000;
+    t.tRowMiss = 45000;
+    t.rowBytes = 8192;
+    t.frontendLatency = 8000;
+    t.queueCapacity = 256;
+    t.issueGap = 833;
+    return t;
+}
+
+DramTiming
+DramTiming::hbm2eChannel()
+{
+    DramTiming t = hbm2Channel();
+    t.tBurst = 696;         // 32 B / 46 GB/s
+    t.tRowHit = 13000;
+    t.tRowMiss = 40000;
+    t.issueGap = 174;
+    return t;
+}
+
+DramTiming
+DramTiming::ddr5Channel()
+{
+    DramTiming t = ddr4Channel();
+    t.tBurst = 1667;        // 64 B / 38.4 GB/s
+    t.numBanks = 32;        // DDR5: more bank groups
+    t.issueGap = 417;
+    return t;
+}
+
+DramTiming
+DramTiming::lpddr5Channel()
+{
+    DramTiming t;
+    t.accessBytes = 32;
+    t.tBurst = 1250;        // 32 B / 25.6 GB/s
+    t.numBanks = 16;
+    t.tRowHit = 18000;
+    t.tRowMiss = 54000;
+    t.rowBytes = 2048;
+    t.frontendLatency = 8000;
+    t.queueCapacity = 64;
+    t.issueGap = 313;
+    return t;
+}
+
+DramChannel::DramChannel(std::string name, sim::EventQueue &queue,
+                         const DramTiming &timing)
+    : SimObject(std::move(name), queue), cfg(timing),
+      bankReadyAt(cfg.numBanks, 0), openRow(cfg.numBanks, -1),
+      issueEvent(queue, [this] { issueOne(); })
+{
+    statistics().addScalar("bytesRead", &bytesRead);
+    statistics().addScalar("bytesWritten", &bytesWritten);
+    statistics().addScalar("rowHits", &rowHits);
+    statistics().addScalar("rowMisses", &rowMisses);
+    statistics().addScalar("busBusyTicks", &busBusyTicks);
+    statistics().addScalar("totalQueueLatency", &totalQueueLatency);
+    statistics().addScalar("numAccesses", &numAccesses);
+}
+
+std::uint32_t
+DramChannel::bankOf(Addr addr) const
+{
+    return static_cast<std::uint32_t>((addr / cfg.accessBytes) %
+                                      cfg.numBanks);
+}
+
+std::uint64_t
+DramChannel::rowOf(Addr addr) const
+{
+    const std::uint64_t atoms_per_row = cfg.rowBytes / cfg.accessBytes;
+    return (addr / cfg.accessBytes) / (cfg.numBanks * atoms_per_row);
+}
+
+bool
+DramChannel::tryAccess(Addr addr, bool write, MemCallback done)
+{
+    if (queue.size() >= cfg.queueCapacity)
+        return false;
+    queue.push_back(Request{addr, write, std::move(done), now()});
+    trySchedule();
+    return true;
+}
+
+void
+DramChannel::waitForSpace(std::function<void()> retry)
+{
+    spaceWaiters.push_back(std::move(retry));
+}
+
+void
+DramChannel::trySchedule()
+{
+    if (queue.empty())
+        return;
+    const Tick target = std::max(now(), nextIssueAt);
+    if (issueEvent.scheduled()) {
+        // A new arrival may be servable before a previously scheduled
+        // bank-ready wait; pull the event forward.
+        if (issueEvent.when() <= target)
+            return;
+        issueEvent.deschedule();
+    }
+    issueEvent.schedule(target);
+}
+
+void
+DramChannel::issueOne()
+{
+    if (queue.empty())
+        return;
+
+    // FR-FCFS-lite: prefer the oldest row hit on a ready bank, then the
+    // oldest request on a ready bank, then the overall oldest.
+    const Tick t = now();
+    std::size_t chosen = 0;
+    int best_class = 3;
+    Tick earliest_ready = sim::maxTick;
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        const auto &r = queue[i];
+        const std::uint32_t b = bankOf(r.addr);
+        const bool ready = bankReadyAt[b] <= t;
+        earliest_ready = std::min(earliest_ready, bankReadyAt[b]);
+        const bool hit =
+            openRow[b] == static_cast<std::int64_t>(rowOf(r.addr));
+        const int klass = (ready && hit) ? 0 : (ready ? 1 : 2);
+        if (klass < best_class) {
+            best_class = klass;
+            chosen = i;
+            if (klass == 0)
+                break;
+        }
+    }
+
+    if (best_class == 2) {
+        // No bank can accept a command yet; wait instead of committing
+        // a request to a busy bank (which would serialize the banks).
+        issueEvent.schedule(std::max(earliest_ready, nextIssueAt));
+        return;
+    }
+
+    Request req = std::move(queue[chosen]);
+    queue.erase(queue.begin() +
+                static_cast<std::ptrdiff_t>(chosen));
+
+    const std::uint32_t b = bankOf(req.addr);
+    const std::uint64_t row = rowOf(req.addr);
+    const bool hit = openRow[b] == static_cast<std::int64_t>(row);
+    const Tick access_lat = hit ? cfg.tRowHit : cfg.tRowMiss;
+
+    const Tick start = std::max(t, bankReadyAt[b]);
+    const Tick data_at = start + cfg.frontendLatency + access_lat;
+    const Tick bus_start = std::max(data_at, busFreeAt);
+    const Tick bus_end = bus_start + cfg.tBurst;
+
+    busFreeAt = bus_end;
+    // The bank recovers after its own row cycle; it must not be held
+    // hostage to data-bus queueing or bank-level parallelism collapses.
+    bankReadyAt[b] = start + access_lat + cfg.tBurst;
+    openRow[b] = static_cast<std::int64_t>(row);
+
+    (hit ? rowHits : rowMisses) += 1;
+    (req.write ? bytesWritten : bytesRead) += cfg.accessBytes;
+    busBusyTicks += cfg.tBurst;
+    numAccesses += 1;
+    totalQueueLatency += static_cast<double>(bus_end - req.enqueued);
+
+    if (req.done)
+        eventQueue().schedule(bus_end, std::move(req.done));
+
+    nextIssueAt = t + cfg.issueGap;
+    if (!queue.empty())
+        issueEvent.schedule(nextIssueAt);
+
+    // Space freed: wake one waiter per freed slot.
+    if (!spaceWaiters.empty()) {
+        auto waiter = std::move(spaceWaiters.front());
+        spaceWaiters.erase(spaceWaiters.begin());
+        eventQueue().schedule(t, std::move(waiter));
+    }
+}
+
+double
+DramChannel::achievedBytesPerSec() const
+{
+    const Tick elapsed = now();
+    if (elapsed == 0)
+        return 0;
+    return (bytesRead.value() + bytesWritten.value()) /
+           sim::ticksToSeconds(elapsed);
+}
+
+MemorySystem::MemorySystem(std::string name, sim::EventQueue &queue,
+                           const DramTiming &timing,
+                           std::uint32_t num_channels,
+                           std::uint32_t interleave_bytes)
+    : SimObject(std::move(name), queue), cfg(timing),
+      interleaveBytes(interleave_bytes ? interleave_bytes
+                                       : timing.accessBytes)
+{
+    NOVA_ASSERT(num_channels > 0);
+    for (std::uint32_t i = 0; i < num_channels; ++i) {
+        owned.push_back(std::make_unique<DramChannel>(
+            this->name() + ".ch" + std::to_string(i), queue, timing));
+        channels.push_back(owned.back().get());
+        statistics().addChild(&channels.back()->statistics());
+    }
+}
+
+double
+MemorySystem::peakBytesPerSec() const
+{
+    return cfg.peakBytesPerSec() * static_cast<double>(channels.size());
+}
+
+double
+MemorySystem::achievedBytesPerSec() const
+{
+    double sum = 0;
+    for (const auto *ch : channels)
+        sum += ch->achievedBytesPerSec();
+    return sum;
+}
+
+DramChannel &
+MemorySystem::channelFor(Addr addr)
+{
+    return *channels[(addr / interleaveBytes) % channels.size()];
+}
+
+bool
+MemorySystem::tryAccess(Addr addr, std::uint32_t bytes, bool write,
+                        MemCallback done)
+{
+    const Addr first = addr / cfg.accessBytes;
+    const Addr last = (addr + std::max<std::uint32_t>(bytes, 1) - 1) /
+                      cfg.accessBytes;
+    const auto num_atoms = static_cast<std::uint32_t>(last - first + 1);
+
+    // All-or-nothing admission: check capacity first so a multi-atom
+    // request is never half-enqueued.
+    std::vector<std::uint32_t> per_channel(channels.size(), 0);
+    for (Addr atom = first; atom <= last; ++atom) {
+        const Addr a = atom * cfg.accessBytes;
+        const std::size_t ci = (a / interleaveBytes) % channels.size();
+        ++per_channel[ci];
+    }
+    for (std::size_t ci = 0; ci < channels.size(); ++ci) {
+        if (channels[ci]->queued() + per_channel[ci] >
+            cfg.queueCapacity)
+            return false;
+    }
+
+    auto remaining = std::make_shared<std::uint32_t>(num_atoms);
+    auto shared_done = std::make_shared<MemCallback>(std::move(done));
+    for (Addr atom = first; atom <= last; ++atom) {
+        const Addr a = atom * cfg.accessBytes;
+        const bool ok = channelFor(a).tryAccess(
+            a, write, [remaining, shared_done] {
+                if (--*remaining == 0 && *shared_done)
+                    (*shared_done)();
+            });
+        NOVA_ASSERT(ok, "channel rejected pre-checked access");
+    }
+    return true;
+}
+
+void
+MemorySystem::waitForSpace(std::function<void()> retry)
+{
+    // Wake the caller when the most loaded channel frees a slot.
+    std::size_t worst = 0;
+    for (std::size_t i = 1; i < channels.size(); ++i)
+        if (channels[i]->queued() > channels[worst]->queued())
+            worst = i;
+    channels[worst]->waitForSpace(std::move(retry));
+}
+
+double
+MemorySystem::totalBytes() const
+{
+    double sum = 0;
+    for (const auto *ch : channels)
+        sum += ch->bytesRead.value() + ch->bytesWritten.value();
+    return sum;
+}
+
+} // namespace nova::mem

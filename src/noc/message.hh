@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The graph-update message exchanged between processing elements.
+ *
+ * A message is <u, δ>: a destination vertex and an update for it
+ * (Sec. II-A). The update is carried as raw 64-bit payload; the vertex
+ * program interprets it.
+ */
+
+#ifndef NOVA_NOC_MESSAGE_HH
+#define NOVA_NOC_MESSAGE_HH
+
+#include <cstdint>
+
+#include "graph/csr.hh"
+
+namespace nova::noc
+{
+
+/** A vertex-update message in flight between PEs. */
+struct Message
+{
+    /** Global id of the destination vertex (u). */
+    graph::VertexId dstVertex = 0;
+    /** The update (δ), interpreted by the vertex program. */
+    std::uint64_t update = 0;
+    /** Destination PE (global PE index). */
+    std::uint32_t dstPe = 0;
+    /** Source PE (global PE index). */
+    std::uint32_t srcPe = 0;
+};
+
+} // namespace nova::noc
+
+#endif // NOVA_NOC_MESSAGE_HH

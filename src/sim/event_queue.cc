@@ -1,0 +1,32 @@
+#include "sim/event_queue.hh"
+
+namespace nova::sim
+{
+
+bool
+EventQueue::runOne()
+{
+    if (heap.empty())
+        return false;
+    // Move the closure out before popping so it may schedule new events.
+    Item item = std::move(const_cast<Item &>(heap.top()));
+    heap.pop();
+    NOVA_ASSERT(item.when >= curTick, "event queue went backwards");
+    curTick = item.when;
+    ++numExecuted;
+    item.fn();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run(Tick until, std::uint64_t maxEvents)
+{
+    std::uint64_t count = 0;
+    while (count < maxEvents && !heap.empty() && heap.top().when <= until) {
+        runOne();
+        ++count;
+    }
+    return count;
+}
+
+} // namespace nova::sim

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The discrete-event simulation kernel.
+ *
+ * A single EventQueue orders all simulation work by (tick, priority,
+ * insertion order). Components schedule closures; the queue executes them
+ * in deterministic order, making whole-system runs reproducible.
+ */
+
+#ifndef NOVA_SIM_EVENT_QUEUE_HH
+#define NOVA_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace nova::sim
+{
+
+/** Default scheduling priority; lower values run first within a tick. */
+constexpr int defaultPriority = 0;
+
+/**
+ * A time-ordered queue of closures.
+ *
+ * Events scheduled for the same tick run in priority order, and events
+ * with equal priority run in insertion order (FIFO), which keeps
+ * simulations deterministic.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return curTick; }
+
+    /** Number of events waiting to execute. */
+    std::size_t size() const { return heap.size(); }
+
+    /** True when no events remain. */
+    bool empty() const { return heap.empty(); }
+
+    /** Total number of events executed so far. */
+    std::uint64_t executed() const { return numExecuted; }
+
+    /**
+     * Schedule a closure to run at an absolute tick.
+     * @pre when >= now().
+     */
+    void
+    schedule(Tick when, std::function<void()> fn,
+             int priority = defaultPriority)
+    {
+        NOVA_ASSERT(when >= curTick, "scheduling in the past");
+        heap.push(Item{when, priority, nextSeq++, std::move(fn)});
+    }
+
+    /** Schedule a closure to run delta ticks from now. */
+    void
+    scheduleIn(Tick delta, std::function<void()> fn,
+               int priority = defaultPriority)
+    {
+        schedule(curTick + delta, std::move(fn), priority);
+    }
+
+    /**
+     * Execute the next event, advancing time to it.
+     * @return false if the queue was empty.
+     */
+    bool runOne();
+
+    /**
+     * Run events until the queue drains, `until` is passed, or
+     * `maxEvents` events have executed.
+     * @return the number of events executed by this call.
+     */
+    std::uint64_t run(Tick until = maxTick,
+                      std::uint64_t maxEvents = ~std::uint64_t(0));
+
+  private:
+    struct Item
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        std::function<void()> fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Item &a, const Item &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Item, std::vector<Item>, Later> heap;
+    Tick curTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t numExecuted = 0;
+};
+
+/**
+ * A reschedulable event bound to a fixed callback.
+ *
+ * Components use this for their "wake up and do work" events: scheduling
+ * while already pending is a no-op, and deschedule() cancels a pending
+ * occurrence. The owning object must outlive the queue's processing of
+ * the event (all components live for the whole simulation).
+ */
+class SelfEvent
+{
+  public:
+    SelfEvent(EventQueue &queue, std::function<void()> callback)
+        : q(queue), fn(std::move(callback))
+    {
+    }
+
+    SelfEvent(const SelfEvent &) = delete;
+    SelfEvent &operator=(const SelfEvent &) = delete;
+
+    /** True if an occurrence is pending. */
+    bool scheduled() const { return pending; }
+
+    /** Tick of the pending occurrence (valid only when scheduled()). */
+    Tick when() const { return pendingWhen; }
+
+    /** Schedule at an absolute tick; no-op when already pending. */
+    void
+    schedule(Tick when, int priority = defaultPriority)
+    {
+        if (pending)
+            return;
+        pending = true;
+        pendingWhen = when;
+        const std::uint64_t g = ++generation;
+        q.schedule(when, [this, g] {
+            if (g != generation)
+                return;
+            pending = false;
+            fn();
+        }, priority);
+    }
+
+    /** Schedule delta ticks from now; no-op when already pending. */
+    void
+    scheduleIn(Tick delta, int priority = defaultPriority)
+    {
+        schedule(q.now() + delta, priority);
+    }
+
+    /** Cancel any pending occurrence. */
+    void
+    deschedule()
+    {
+        ++generation;
+        pending = false;
+    }
+
+  private:
+    EventQueue &q;
+    std::function<void()> fn;
+    bool pending = false;
+    Tick pendingWhen = 0;
+    std::uint64_t generation = 0;
+};
+
+} // namespace nova::sim
+
+#endif // NOVA_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Top-level simulation container: owns the event queue and the
+ * components, runs the event loop, and aggregates statistics.
+ */
+
+#ifndef NOVA_SIM_SIMULATOR_HH
+#define NOVA_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/sim_object.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace nova::sim
+{
+
+/**
+ * Owns an EventQueue plus a set of SimObjects and drives a run.
+ *
+ * Usage: construct components via create<T>(...), wire them together,
+ * then call run(). The simulation ends when the event queue drains
+ * (models only schedule events while they have work, so a drained queue
+ * means global quiescence) or the optional tick/event limits trip.
+ */
+class Simulator
+{
+  public:
+    explicit Simulator(std::string sim_name = "system")
+        : topGroup(std::move(sim_name))
+    {
+    }
+
+    EventQueue &eventQueue() { return eq; }
+    Tick now() const { return eq.now(); }
+
+    /** Construct and register a component. Returns a non-owning pointer. */
+    template <typename T, typename... Args>
+    T *
+    create(Args &&...args)
+    {
+        auto obj = std::make_unique<T>(std::forward<Args>(args)...);
+        T *raw = obj.get();
+        topGroup.addChild(&raw->statistics());
+        objects.push_back(std::move(obj));
+        return raw;
+    }
+
+    /**
+     * Call startup() on every component, then run the event loop.
+     * @return the tick at which the queue drained (or the limit hit).
+     */
+    Tick
+    run(Tick until = maxTick, std::uint64_t max_events = ~std::uint64_t(0))
+    {
+        if (!started) {
+            started = true;
+            for (auto &obj : objects)
+                obj->startup();
+        }
+        eq.run(until, max_events);
+        return eq.now();
+    }
+
+    /** Continue running after new events were injected. */
+    Tick resume(Tick until = maxTick) { return run(until); }
+
+    /** The aggregated statistics of all registered components. */
+    stats::Group &statistics() { return topGroup; }
+
+  private:
+    EventQueue eq;
+    std::vector<std::unique_ptr<SimObject>> objects;
+    stats::Group topGroup;
+    bool started = false;
+};
+
+} // namespace nova::sim
+
+#endif // NOVA_SIM_SIMULATOR_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fundamental scalar types shared by all simulation models.
+ *
+ * Mirrors the conventions of gem5: simulated time advances in integer
+ * ticks, where one tick equals one picosecond. Clocked components convert
+ * between cycles of their own clock domain and ticks.
+ */
+
+#ifndef NOVA_SIM_TYPES_HH
+#define NOVA_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace nova::sim
+{
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A count of clock cycles in some clock domain. */
+using Cycles = std::uint64_t;
+
+/** A simulated memory address (byte granularity). */
+using Addr = std::uint64_t;
+
+/** One nanosecond expressed in ticks. */
+constexpr Tick tickNs = 1000;
+
+/** One microsecond expressed in ticks. */
+constexpr Tick tickUs = 1000 * tickNs;
+
+/** One millisecond expressed in ticks. */
+constexpr Tick tickMs = 1000 * tickUs;
+
+/** One second expressed in ticks. */
+constexpr Tick tickS = 1000 * tickMs;
+
+/** The largest representable tick; used as "never". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** Convert a tick count to seconds. */
+inline double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickS);
+}
+
+/** Convert a clock frequency in GHz to a clock period in ticks. */
+inline Tick
+periodFromGHz(double ghz)
+{
+    return static_cast<Tick>(1000.0 / ghz);
+}
+
+} // namespace nova::sim
+
+#endif // NOVA_SIM_TYPES_HH

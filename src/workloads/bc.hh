@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Two-phase betweenness-centrality driver (Sec. V: BC runs in BSP mode
+ * with a forward and a backward pass). Works with any GraphEngine.
+ */
+
+#ifndef NOVA_WORKLOADS_BC_HH
+#define NOVA_WORKLOADS_BC_HH
+
+#include "workloads/engine.hh"
+
+namespace nova::workloads
+{
+
+/** Combined outcome of the forward + backward BC passes. */
+struct BcResult
+{
+    /** Per-vertex dependency (BC contribution of this source). */
+    std::vector<double> centrality;
+    RunResult forward;
+    RunResult backward;
+
+    /** Total simulated time of both passes. */
+    sim::Tick totalTicks() const { return forward.ticks + backward.ticks; }
+
+    /** Total edges traversed across both passes. */
+    std::uint64_t
+    totalEdgesTraversed() const
+    {
+        return forward.messagesGenerated + backward.messagesGenerated;
+    }
+};
+
+/**
+ * Run betweenness centrality from one source on a symmetric graph.
+ * The forward pass computes levels and path counts; the backward pass
+ * accumulates dependencies level by level.
+ */
+BcResult runBc(GraphEngine &engine, const graph::Csr &g,
+               const graph::VertexMapping &map, graph::VertexId src);
+
+/** Aggregate betweenness over several sources. */
+struct BcMultiResult
+{
+    /** Sum of per-source dependencies (unnormalised BC scores). */
+    std::vector<double> centrality;
+    /** Total simulated time over all passes. */
+    sim::Tick totalTicks = 0;
+    /** Total edges traversed over all passes. */
+    std::uint64_t edgesTraversed = 0;
+    std::uint32_t numSources = 0;
+};
+
+/**
+ * Brandes-style sampled betweenness centrality: run the two-phase
+ * driver from `num_sources` distinct sources (the highest-out-degree
+ * vertices) and sum the dependencies.
+ */
+BcMultiResult runBcMultiSource(GraphEngine &engine, const graph::Csr &g,
+                               const graph::VertexMapping &map,
+                               std::uint32_t num_sources);
+
+} // namespace nova::workloads
+
+#endif // NOVA_WORKLOADS_BC_HH

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Bulk-synchronous variants of the traversal workloads.
+ *
+ * The paper notes that NOVA "supports both asynchronous message-driven
+ * execution and synchronous models" (Sec. II-B); these programs run
+ * BFS/SSSP level-synchronously so the async-vs-BSP work-efficiency
+ * trade-off can be measured on the same engines (the ablation backing
+ * the paper's choice of async mode for traversals).
+ */
+
+#ifndef NOVA_WORKLOADS_BSP_TRAVERSAL_HH
+#define NOVA_WORKLOADS_BSP_TRAVERSAL_HH
+
+#include "workloads/programs.hh"
+
+namespace nova::workloads
+{
+
+/** Level-synchronous BFS: one superstep per frontier. */
+class BfsBspProgram : public VertexProgram
+{
+  public:
+    explicit BfsBspProgram(graph::VertexId source) : src(source) {}
+
+    std::string name() const override { return "bfs_bsp"; }
+    ExecMode mode() const override { return ExecMode::Bsp; }
+
+    std::uint64_t
+    initialProp(graph::VertexId v) const override
+    {
+        return v == src ? 0 : infProp;
+    }
+
+    std::uint64_t initialAcc(graph::VertexId) const override
+    {
+        return infProp;
+    }
+
+    std::vector<graph::VertexId>
+    initialActive() const override
+    {
+        return {src};
+    }
+
+    std::uint64_t
+    reduce(std::uint64_t state, std::uint64_t update,
+           std::uint64_t) const override
+    {
+        return std::min(state, update);
+    }
+
+    std::uint64_t
+    propagate(std::uint64_t value, graph::Weight) const override
+    {
+        return value + 1;
+    }
+
+    BarrierOutcome
+    bspApply(std::uint64_t cur, std::uint64_t acc,
+             graph::VertexId) override
+    {
+        BarrierOutcome out;
+        out.newAcc = infProp;
+        if (acc < cur) {
+            out.newCur = acc;
+            out.active = true;
+        } else {
+            out.newCur = cur;
+            out.active = false;
+        }
+        return out;
+    }
+
+  private:
+    graph::VertexId src;
+};
+
+/**
+ * Round-synchronous SSSP (Bellman-Ford supersteps): improvements
+ * found in superstep k propagate in superstep k+1.
+ */
+class SsspBspProgram : public VertexProgram
+{
+  public:
+    explicit SsspBspProgram(graph::VertexId source) : src(source) {}
+
+    std::string name() const override { return "sssp_bsp"; }
+    ExecMode mode() const override { return ExecMode::Bsp; }
+
+    std::uint64_t
+    initialProp(graph::VertexId v) const override
+    {
+        return v == src ? 0 : infProp;
+    }
+
+    std::uint64_t initialAcc(graph::VertexId) const override
+    {
+        return infProp;
+    }
+
+    std::vector<graph::VertexId>
+    initialActive() const override
+    {
+        return {src};
+    }
+
+    std::uint64_t
+    reduce(std::uint64_t state, std::uint64_t update,
+           std::uint64_t) const override
+    {
+        return std::min(state, update);
+    }
+
+    std::uint64_t
+    propagate(std::uint64_t value, graph::Weight w) const override
+    {
+        return value + w;
+    }
+
+    BarrierOutcome
+    bspApply(std::uint64_t cur, std::uint64_t acc,
+             graph::VertexId) override
+    {
+        BarrierOutcome out;
+        out.newAcc = infProp;
+        if (acc < cur) {
+            out.newCur = acc;
+            out.active = true;
+        } else {
+            out.newCur = cur;
+            out.active = false;
+        }
+        return out;
+    }
+
+  private:
+    graph::VertexId src;
+};
+
+} // namespace nova::workloads
+
+#endif // NOVA_WORKLOADS_BSP_TRAVERSAL_HH

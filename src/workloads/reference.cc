@@ -1,0 +1,173 @@
+#include "workloads/reference.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+
+#include "workloads/programs.hh"
+
+namespace nova::workloads::reference
+{
+
+using graph::Csr;
+using graph::VertexId;
+
+std::vector<std::uint64_t>
+bfsDepths(const Csr &g, VertexId src)
+{
+    std::vector<std::uint64_t> depth(g.numVertices(), infProp);
+    std::deque<VertexId> queue;
+    depth[src] = 0;
+    queue.push_back(src);
+    while (!queue.empty()) {
+        const VertexId v = queue.front();
+        queue.pop_front();
+        for (VertexId w : g.neighbors(v)) {
+            if (depth[w] == infProp) {
+                depth[w] = depth[v] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    return depth;
+}
+
+std::vector<std::uint64_t>
+ssspDistances(const Csr &g, VertexId src)
+{
+    std::vector<std::uint64_t> dist(g.numVertices(), infProp);
+    using Item = std::pair<std::uint64_t, VertexId>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    dist[src] = 0;
+    pq.emplace(0, src);
+    while (!pq.empty()) {
+        const auto [d, v] = pq.top();
+        pq.pop();
+        if (d != dist[v])
+            continue;
+        for (graph::EdgeId e = g.edgeBegin(v); e < g.edgeEnd(v); ++e) {
+            const VertexId w = g.edgeDest(e);
+            const std::uint64_t nd = d + g.edgeWeight(e);
+            if (nd < dist[w]) {
+                dist[w] = nd;
+                pq.emplace(nd, w);
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<std::uint64_t>
+ccLabels(const Csr &g)
+{
+    const VertexId n = g.numVertices();
+    const Csr rev = transpose(g);
+    std::vector<std::uint64_t> label(n, infProp);
+    std::deque<VertexId> queue;
+    for (VertexId root = 0; root < n; ++root) {
+        if (label[root] != infProp)
+            continue;
+        label[root] = root;
+        queue.push_back(root);
+        while (!queue.empty()) {
+            const VertexId v = queue.front();
+            queue.pop_front();
+            auto visit = [&](VertexId w) {
+                if (label[w] == infProp) {
+                    label[w] = root;
+                    queue.push_back(w);
+                }
+            };
+            for (VertexId w : g.neighbors(v))
+                visit(w);
+            for (VertexId w : rev.neighbors(v))
+                visit(w);
+        }
+    }
+    return label;
+}
+
+std::vector<double>
+pagerankDelta(const Csr &g, double damping, double tolerance,
+              std::uint64_t max_iterations)
+{
+    const VertexId n = g.numVertices();
+    const double base = (1.0 - damping) / static_cast<double>(n);
+    std::vector<double> rank(n, base);
+    std::vector<double> delta(n, base);
+    std::vector<bool> active(n, true);
+
+    for (std::uint64_t iter = 0; iter < max_iterations; ++iter) {
+        std::vector<double> acc(n, 0.0);
+        bool any = false;
+        for (VertexId v = 0; v < n; ++v) {
+            if (!active[v] || g.degree(v) == 0)
+                continue;
+            any = true;
+            const double contrib =
+                damping * delta[v] / static_cast<double>(g.degree(v));
+            for (VertexId w : g.neighbors(v))
+                acc[w] += contrib;
+        }
+        if (!any)
+            break;
+        for (VertexId v = 0; v < n; ++v) {
+            // Vertices receiving nothing this round become inactive,
+            // matching the message-driven engines where only touched
+            // vertices re-activate.
+            delta[v] = acc[v];
+            rank[v] += acc[v];
+            active[v] = acc[v] > tolerance;
+        }
+    }
+    return rank;
+}
+
+std::vector<double>
+bcDependencies(const Csr &g, VertexId src)
+{
+    const VertexId n = g.numVertices();
+    constexpr std::uint32_t unreached = 0xFFFF;
+    std::vector<std::uint32_t> level(n, unreached);
+    std::vector<double> sigma(n, 0.0);
+    std::vector<VertexId> order;
+
+    level[src] = 0;
+    sigma[src] = 1.0;
+    order.push_back(src);
+    for (std::size_t head = 0; head < order.size(); ++head) {
+        const VertexId v = order[head];
+        for (VertexId w : g.neighbors(v)) {
+            if (level[w] == unreached) {
+                level[w] = level[v] + 1;
+                order.push_back(w);
+            }
+            if (level[w] == level[v] + 1)
+                sigma[w] += sigma[v];
+        }
+    }
+
+    std::vector<double> delta(n, 0.0);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const VertexId v = *it;
+        for (VertexId w : g.neighbors(v)) {
+            if (level[w] == level[v] + 1 && sigma[w] > 0)
+                delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+        }
+    }
+    return delta;
+}
+
+std::uint64_t
+sequentialEdgeWork(const Csr &g, VertexId src)
+{
+    const auto depth = bfsDepths(g, src);
+    std::uint64_t work = 0;
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        if (depth[v] != infProp)
+            work += g.degree(v);
+    return work;
+}
+
+} // namespace nova::workloads::reference

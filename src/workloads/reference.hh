@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Sequential reference implementations used to validate every engine's
+ * functional output and to compute work-efficiency baselines
+ * (Sec. II-A: "work efficiency is the number of edges traversed by the
+ * sequential code over the number traversed by asynchronous execution").
+ */
+
+#ifndef NOVA_WORKLOADS_REFERENCE_HH
+#define NOVA_WORKLOADS_REFERENCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hh"
+
+namespace nova::workloads::reference
+{
+
+/** BFS depth per vertex (infProp when unreached). */
+std::vector<std::uint64_t> bfsDepths(const graph::Csr &g,
+                                     graph::VertexId src);
+
+/** Dijkstra distances (infProp when unreached). */
+std::vector<std::uint64_t> ssspDistances(const graph::Csr &g,
+                                         graph::VertexId src);
+
+/**
+ * Weakly-connected-component labels: each vertex maps to the minimum
+ * vertex id of its component (edges treated as undirected).
+ */
+std::vector<std::uint64_t> ccLabels(const graph::Csr &g);
+
+/**
+ * Delta-based PageRank with the same iteration scheme the BSP engines
+ * run, executed sequentially.
+ */
+std::vector<double> pagerankDelta(const graph::Csr &g, double damping,
+                                  double tolerance,
+                                  std::uint64_t max_iterations);
+
+/** Brandes dependency accumulation for one source (unweighted). */
+std::vector<double> bcDependencies(const graph::Csr &g,
+                                   graph::VertexId src);
+
+/**
+ * Edges a work-optimal sequential traversal touches: the sum of
+ * out-degrees of reached vertices.
+ */
+std::uint64_t sequentialEdgeWork(const graph::Csr &g, graph::VertexId src);
+
+} // namespace nova::workloads::reference
+
+#endif // NOVA_WORKLOADS_REFERENCE_HH

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Functional validation of the PolyGraph model and the Ligra-like
+ * engine against the sequential references, plus behavioural checks of
+ * the slicing cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/ligra.hh"
+#include "baselines/polygraph.hh"
+#include "graph/generators.hh"
+#include "graph/graph_stats.hh"
+#include "graph/partition.hh"
+#include "workloads/bc.hh"
+#include "workloads/programs.hh"
+#include "workloads/reference.hh"
+
+using namespace nova;
+using graph::VertexId;
+
+namespace
+{
+
+graph::Csr
+testRmat(VertexId n, graph::EdgeId e, std::uint64_t seed,
+         graph::Weight max_w = 1)
+{
+    graph::RmatParams p;
+    p.numVertices = n;
+    p.numEdges = e;
+    p.seed = seed;
+    p.maxWeight = max_w;
+    return graph::generateRmat(p);
+}
+
+graph::VertexMapping
+dummyMap(const graph::Csr &g)
+{
+    return graph::VertexMapping::interleave(g.numVertices(), 1);
+}
+
+} // namespace
+
+class EngineParamTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>>
+{
+  protected:
+    std::unique_ptr<workloads::GraphEngine>
+    makeEngine() const
+    {
+        const int kind = std::get<0>(GetParam());
+        if (kind == 0) {
+            baselines::PolyGraphConfig cfg;
+            cfg.onChipBytes = 2048; // force several slices on test inputs
+            return std::make_unique<baselines::PolyGraphModel>(cfg);
+        }
+        return std::make_unique<baselines::LigraEngine>();
+    }
+
+    std::uint64_t seed() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(EngineParamTest, BfsMatchesReference)
+{
+    const auto g = testRmat(512, 4096, seed());
+    const VertexId src = graph::highestDegreeVertex(g);
+    auto engine = makeEngine();
+    workloads::BfsProgram prog(src);
+    const auto r = engine->run(prog, g, dummyMap(g));
+    const auto ref = workloads::reference::bfsDepths(g, src);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        ASSERT_EQ(r.props[v], ref[v]) << "vertex " << v;
+}
+
+TEST_P(EngineParamTest, SsspMatchesReference)
+{
+    const auto g = testRmat(256, 2048, seed(), 63);
+    const VertexId src = graph::highestDegreeVertex(g);
+    auto engine = makeEngine();
+    workloads::SsspProgram prog(src);
+    const auto r = engine->run(prog, g, dummyMap(g));
+    const auto ref = workloads::reference::ssspDistances(g, src);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        ASSERT_EQ(r.props[v], ref[v]) << "vertex " << v;
+}
+
+TEST_P(EngineParamTest, CcMatchesReference)
+{
+    const auto g = graph::symmetrize(testRmat(256, 1024, seed()));
+    auto engine = makeEngine();
+    workloads::CcProgram prog;
+    const auto r = engine->run(prog, g, dummyMap(g));
+    const auto ref = workloads::reference::ccLabels(g);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        ASSERT_EQ(r.props[v], ref[v]) << "vertex " << v;
+}
+
+TEST_P(EngineParamTest, PageRankMatchesReference)
+{
+    const auto g = testRmat(256, 2048, seed());
+    auto engine = makeEngine();
+    workloads::PageRankProgram prog(0.85, 1e-12, 10);
+    engine->run(prog, g, dummyMap(g));
+    const auto ref =
+        workloads::reference::pagerankDelta(g, 0.85, 1e-12, 10);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        ASSERT_NEAR(prog.rank()[v], ref[v], 1e-9 + 1e-6 * ref[v]);
+}
+
+TEST_P(EngineParamTest, BcMatchesReference)
+{
+    const auto g = graph::symmetrize(testRmat(128, 1024, seed()));
+    auto engine = makeEngine();
+    const VertexId src = graph::highestDegreeVertex(g);
+    const auto bc = workloads::runBc(*engine, g, dummyMap(g), src);
+    const auto ref = workloads::reference::bcDependencies(g, src);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        ASSERT_NEAR(bc.centrality[v], ref[v],
+                    1e-6 + 1e-4 * std::abs(ref[v]));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, EngineParamTest,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values(1u, 42u, 1234u)),
+    [](const auto &info) {
+        return std::string(std::get<0>(info.param) == 0 ? "polygraph"
+                                                        : "ligra") +
+               "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(PolyGraphModel, SliceCountsMatchTableIII)
+{
+    // Table III: slices with 32 MiB on-chip memory.
+    baselines::PolyGraphConfig cfg;
+    EXPECT_EQ(cfg.numSlices(23'900'000), 3u);  // RoadUSA
+    EXPECT_EQ(cfg.numSlices(41'650'000), 5u);  // Twitter
+    EXPECT_EQ(cfg.numSlices(65'600'000), 8u);  // Friendster
+    EXPECT_EQ(cfg.numSlices(101'000'000), 13u); // Host
+    EXPECT_EQ(cfg.numSlices(134'200'000), 16u); // Urand (paper: 16)
+}
+
+TEST(PolyGraphModel, SwitchingOverheadGrowsWithSlices)
+{
+    const auto g = testRmat(4096, 65536, 9);
+    const VertexId src = graph::highestDegreeVertex(g);
+    double prev_switching = -1;
+    for (std::uint32_t slices : {1u, 4u, 16u}) {
+        baselines::PolyGraphConfig cfg;
+        cfg.forcedSlices = slices;
+        baselines::PolyGraphModel pg(cfg);
+        workloads::BfsProgram prog(src);
+        const auto r = pg.run(prog, g, dummyMap(g));
+        const double sw = r.extra.at("pg.switchingTicks");
+        EXPECT_GT(sw, prev_switching);
+        prev_switching = sw;
+        EXPECT_EQ(r.extra.at("pg.numSlices"), slices);
+    }
+}
+
+TEST(PolyGraphModel, NonSlicedHasNoRepeatedSwitching)
+{
+    const auto g = testRmat(1024, 8192, 3);
+    baselines::PolyGraphConfig cfg; // 32 MiB default: non-sliced here
+    baselines::PolyGraphModel pg(cfg);
+    workloads::BfsProgram prog(graph::highestDegreeVertex(g));
+    const auto r = pg.run(prog, g, dummyMap(g));
+    EXPECT_EQ(r.extra.at("pg.numSlices"), 1);
+    // One load + one store of the vertex state only.
+    const double eff_bw = 332.8 * cfg.dramEfficiency;
+    const double expected =
+        2.0 * static_cast<double>(g.numVertices()) * 16 * 1000.0 / eff_bw;
+    EXPECT_NEAR(r.extra.at("pg.switchingTicks"), expected,
+                expected * 0.01);
+}

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests of the extension features: vertex reordering, multi-source
+ * betweenness centrality and the additional memory-technology presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <numeric>
+
+#include "baselines/ligra.hh"
+#include "graph/generators.hh"
+#include "graph/io.hh"
+#include "graph/partition.hh"
+#include "graph/reorder.hh"
+#include "mem/dram.hh"
+#include "sim/logging.hh"
+#include "workloads/bc.hh"
+#include "workloads/reference.hh"
+
+using namespace nova;
+using graph::VertexId;
+
+namespace
+{
+
+graph::Csr
+roadGraph()
+{
+    graph::RoadGridParams p;
+    p.width = 32;
+    p.height = 32;
+    p.seed = 2;
+    return graph::generateRoadGrid(p);
+}
+
+} // namespace
+
+TEST(Reorder, DegreeSortPutsHubsFirst)
+{
+    graph::RmatParams p;
+    p.numVertices = 256;
+    p.numEdges = 2048;
+    p.seed = 4;
+    const auto g = graph::generateRmat(p);
+    const auto perm = graph::degreeSortPermutation(g);
+    graph::validatePermutation(perm, g.numVertices());
+    const auto h = graph::applyPermutation(g, perm);
+    for (VertexId v = 0; v + 1 < h.numVertices(); ++v)
+        ASSERT_GE(h.degree(v), h.degree(v + 1));
+}
+
+TEST(Reorder, BfsPermutationRecoversLocality)
+{
+    // Shuffle the grid's ids, then recover locality with a BFS order.
+    const auto g = roadGraph();
+    std::vector<VertexId> shuffle(g.numVertices());
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        shuffle[v] = (v * 773) % g.numVertices(); // 773 coprime to 1024
+    const auto shuffled = graph::applyPermutation(g, shuffle);
+
+    const auto perm = graph::bfsPermutation(shuffled);
+    graph::validatePermutation(perm, shuffled.numVertices());
+    const auto h = graph::applyPermutation(shuffled, perm);
+    EXPECT_LT(graph::averageEdgeSpan(h),
+              0.6 * graph::averageEdgeSpan(shuffled));
+}
+
+TEST(Reorder, CommunityPermutationImprovesLocalityOnShuffledGrid)
+{
+    // Destroy the grid's natural id locality, then recover it.
+    const auto g = roadGraph();
+    std::vector<VertexId> shuffle(g.numVertices());
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        shuffle[v] = (v * 769) % g.numVertices(); // 769 coprime to 1024
+    const auto shuffled = graph::applyPermutation(g, shuffle);
+
+    const auto perm = graph::communityPermutation(shuffled, 64);
+    graph::validatePermutation(perm, shuffled.numVertices());
+    const auto recovered = graph::applyPermutation(shuffled, perm);
+    EXPECT_LT(graph::averageEdgeSpan(recovered),
+              0.5 * graph::averageEdgeSpan(shuffled));
+}
+
+TEST(Reorder, PermutationPreservesAlgorithmResults)
+{
+    graph::RmatParams p;
+    p.numVertices = 128;
+    p.numEdges = 1024;
+    p.seed = 6;
+    const auto g = graph::generateRmat(p);
+    const auto perm = graph::communityPermutation(g);
+    const auto h = graph::applyPermutation(g, perm);
+    const VertexId src = 5;
+    const auto dg = workloads::reference::bfsDepths(g, src);
+    const auto dh = workloads::reference::bfsDepths(h, perm[src]);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        ASSERT_EQ(dg[v], dh[perm[v]]);
+}
+
+TEST(Reorder, ValidateRejectsBrokenPermutations)
+{
+    EXPECT_THROW(graph::validatePermutation({0, 0, 1}, 3),
+                 sim::PanicError);
+    EXPECT_THROW(graph::validatePermutation({0, 5}, 2),
+                 sim::PanicError);
+    EXPECT_THROW(graph::validatePermutation({0, 1}, 3),
+                 sim::PanicError);
+}
+
+TEST(BcMultiSource, SumsPerSourceDependencies)
+{
+    graph::RmatParams p;
+    p.numVertices = 96;
+    p.numEdges = 768;
+    p.seed = 9;
+    const auto g = graph::symmetrize(graph::generateRmat(p));
+    const auto map =
+        graph::VertexMapping::interleave(g.numVertices(), 1);
+    baselines::LigraEngine ligra;
+    const auto multi =
+        workloads::runBcMultiSource(ligra, g, map, 3);
+    EXPECT_EQ(multi.numSources, 3u);
+    EXPECT_GT(multi.totalTicks, 0u);
+    EXPECT_GT(multi.edgesTraversed, 0u);
+    // Manual sum over the same three sources must agree.
+    std::vector<VertexId> order(g.numVertices());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](VertexId a, VertexId b) {
+                         return g.degree(a) > g.degree(b);
+                     });
+    std::vector<double> want(g.numVertices(), 0.0);
+    for (int i = 0; i < 3; ++i) {
+        const auto one =
+            workloads::reference::bcDependencies(g, order[i]);
+        for (VertexId v = 0; v < g.numVertices(); ++v)
+            want[v] += one[v];
+    }
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        ASSERT_NEAR(multi.centrality[v], want[v],
+                    1e-6 + 1e-4 * std::abs(want[v]));
+}
+
+TEST(DramPresets, BandwidthOrdering)
+{
+    using mem::DramTiming;
+    EXPECT_GT(DramTiming::hbm2eChannel().peakBytesPerSec(),
+              DramTiming::hbm2Channel().peakBytesPerSec());
+    EXPECT_GT(DramTiming::ddr5Channel().peakBytesPerSec(),
+              DramTiming::ddr4Channel().peakBytesPerSec());
+    EXPECT_NEAR(DramTiming::lpddr5Channel().peakBytesPerSec() / 1e9,
+                25.6, 0.5);
+}
+
+TEST(DramPresets, AllPresetsServeTraffic)
+{
+    using mem::DramTiming;
+    for (const auto &timing :
+         {DramTiming::hbm2Channel(), DramTiming::hbm2eChannel(),
+          DramTiming::ddr4Channel(), DramTiming::ddr5Channel(),
+          DramTiming::lpddr5Channel()}) {
+        sim::EventQueue eq;
+        mem::DramChannel ch("ch", eq, timing);
+        int done = 0;
+        for (int i = 0; i < 16; ++i)
+            ASSERT_TRUE(ch.tryAccess(
+                static_cast<sim::Addr>(i) * timing.accessBytes, false,
+                [&] { ++done; }));
+        eq.run();
+        EXPECT_EQ(done, 16);
+    }
+}
+
+TEST(GraphIoFiles, BinaryFileRoundTrip)
+{
+    graph::RmatParams p;
+    p.numVertices = 64;
+    p.numEdges = 256;
+    p.seed = 3;
+    p.maxWeight = 77;
+    const auto g = graph::generateRmat(p);
+    const std::string path = "/tmp/nova_test_graph.bin";
+    graph::saveBinaryFile(g, path);
+    const auto h = graph::loadBinaryFile(path);
+    EXPECT_EQ(h.rowPtr(), g.rowPtr());
+    EXPECT_EQ(h.dests(), g.dests());
+    EXPECT_EQ(h.weights(), g.weights());
+    std::remove(path.c_str());
+}
+
+TEST(GraphIoFiles, MissingFileIsFatal)
+{
+    EXPECT_THROW(graph::loadBinaryFile("/tmp/definitely_missing.bin"),
+                 sim::FatalError);
+    EXPECT_THROW(graph::loadEdgeListFile("/tmp/definitely_missing.el"),
+                 sim::FatalError);
+}
+
+TEST(MappingExtras, MaxLocalCount)
+{
+    const auto map = graph::VertexMapping::interleave(10, 4);
+    EXPECT_EQ(map.maxLocalCount(), 3u); // parts 0,1 get 3; 2,3 get 2
+    const auto chunk = graph::VertexMapping::chunk(10, 4);
+    EXPECT_EQ(chunk.maxLocalCount(), 3u);
+}
+
+TEST(MappingExtras, EdgesPerPartSumsToTotal)
+{
+    graph::RmatParams p;
+    p.numVertices = 200;
+    p.numEdges = 1500;
+    p.seed = 12;
+    const auto g = graph::generateRmat(p);
+    const auto map = graph::randomMapping(g.numVertices(), 6, 3);
+    const auto counts = graph::edgesPerPart(g, map);
+    graph::EdgeId sum = 0;
+    for (const auto c : counts)
+        sum += c;
+    EXPECT_EQ(sum, g.numEdges());
+}

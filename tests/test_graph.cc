@@ -1,0 +1,407 @@
+/**
+ * @file
+ * Unit and property tests of the graph substrate: CSR construction,
+ * transforms, generators, IO, statistics and partitioners.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/csr.hh"
+#include "graph/generators.hh"
+#include "graph/graph_stats.hh"
+#include "graph/io.hh"
+#include "graph/partition.hh"
+#include "graph/presets.hh"
+#include "sim/logging.hh"
+
+using namespace nova::graph;
+
+namespace
+{
+
+EdgeList
+smallList()
+{
+    EdgeList list;
+    list.numVertices = 4;
+    list.edges = {{0, 1, 5}, {0, 2, 3}, {1, 2, 1}, {3, 0, 2}, {0, 1, 5}};
+    return list;
+}
+
+} // namespace
+
+TEST(Csr, BuildBasics)
+{
+    const Csr g = buildCsr(smallList());
+    EXPECT_EQ(g.numVertices(), 4u);
+    EXPECT_EQ(g.numEdges(), 5u);
+    EXPECT_EQ(g.degree(0), 3u);
+    EXPECT_EQ(g.degree(1), 1u);
+    EXPECT_EQ(g.degree(2), 0u);
+    EXPECT_EQ(g.degree(3), 1u);
+    EXPECT_TRUE(g.weighted());
+}
+
+TEST(Csr, DedupRemovesDuplicates)
+{
+    BuildOptions opts;
+    opts.dedup = true;
+    const Csr g = buildCsr(smallList(), opts);
+    EXPECT_EQ(g.numEdges(), 4u);
+    EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(Csr, DropSelfLoops)
+{
+    EdgeList list;
+    list.numVertices = 3;
+    list.edges = {{0, 0, 1}, {0, 1, 1}, {2, 2, 1}};
+    BuildOptions opts;
+    opts.dropSelfLoops = true;
+    const Csr g = buildCsr(list, opts);
+    EXPECT_EQ(g.numEdges(), 1u);
+}
+
+TEST(Csr, SortedNeighbors)
+{
+    EdgeList list;
+    list.numVertices = 4;
+    list.edges = {{0, 3, 1}, {0, 1, 1}, {0, 2, 1}};
+    const Csr g = buildCsr(list);
+    const auto n = g.neighbors(0);
+    EXPECT_TRUE(std::is_sorted(n.begin(), n.end()));
+}
+
+TEST(Csr, UnweightedReportsWeightOne)
+{
+    EdgeList list;
+    list.numVertices = 2;
+    list.edges = {{0, 1, 1}};
+    const Csr g = buildCsr(list);
+    EXPECT_FALSE(g.weighted());
+    EXPECT_EQ(g.edgeWeight(0), 1u);
+}
+
+TEST(Csr, OutOfRangeEdgePanics)
+{
+    EdgeList list;
+    list.numVertices = 2;
+    list.edges = {{0, 5, 1}};
+    EXPECT_THROW(buildCsr(list), nova::sim::PanicError);
+}
+
+TEST(Csr, FootprintAccounting)
+{
+    const Csr g = generatePath(10);
+    EXPECT_EQ(g.footprintBytes(), 10u * 16 + 9u * 8);
+}
+
+TEST(CsrTransforms, TransposeInvolution)
+{
+    RmatParams p;
+    p.numVertices = 128;
+    p.numEdges = 512;
+    p.seed = 5;
+    const Csr g = generateRmat(p);
+    const Csr tt = transpose(transpose(g));
+    EXPECT_EQ(tt.rowPtr(), g.rowPtr());
+    EXPECT_EQ(tt.dests(), g.dests());
+}
+
+TEST(CsrTransforms, SymmetrizeIsSymmetric)
+{
+    RmatParams p;
+    p.numVertices = 64;
+    p.numEdges = 256;
+    p.seed = 9;
+    const Csr s = symmetrize(generateRmat(p));
+    const Csr t = transpose(s);
+    EXPECT_EQ(t.rowPtr(), s.rowPtr());
+    EXPECT_EQ(t.dests(), s.dests());
+}
+
+TEST(CsrTransforms, PermutationPreservesDegreesAndEdges)
+{
+    RmatParams p;
+    p.numVertices = 64;
+    p.numEdges = 300;
+    p.seed = 2;
+    const Csr g = generateRmat(p);
+    std::vector<VertexId> perm(g.numVertices());
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        perm[v] = (v * 7 + 3) % g.numVertices(); // 7 coprime with 64
+    const Csr h = applyPermutation(g, perm);
+    EXPECT_EQ(h.numEdges(), g.numEdges());
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        EXPECT_EQ(h.degree(perm[v]), g.degree(v));
+}
+
+class GeneratorSeedTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(GeneratorSeedTest, RmatHasRequestedShape)
+{
+    RmatParams p;
+    p.numVertices = 1024;
+    p.numEdges = 8192;
+    p.seed = GetParam();
+    p.maxWeight = 100;
+    const Csr g = generateRmat(p);
+    EXPECT_EQ(g.numVertices(), 1024u);
+    EXPECT_EQ(g.numEdges(), 8192u);
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        ASSERT_GE(g.edgeWeight(e), 1u);
+        ASSERT_LE(g.edgeWeight(e), 100u);
+    }
+}
+
+TEST_P(GeneratorSeedTest, RmatIsSkewed)
+{
+    RmatParams p;
+    p.numVertices = 2048;
+    p.numEdges = 1 << 16;
+    p.seed = GetParam();
+    const Csr g = generateRmat(p);
+    // The top 1% of vertices should own far more than 1% of edges.
+    std::vector<EdgeId> degs(g.numVertices());
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        degs[v] = g.degree(v);
+    std::sort(degs.rbegin(), degs.rend());
+    EdgeId top = 0;
+    for (std::size_t i = 0; i < degs.size() / 100; ++i)
+        top += degs[i];
+    EXPECT_GT(static_cast<double>(top),
+              0.05 * static_cast<double>(g.numEdges()));
+}
+
+TEST_P(GeneratorSeedTest, UniformIsNotSkewed)
+{
+    UniformParams p;
+    p.numVertices = 2048;
+    p.numEdges = 1 << 16;
+    p.seed = GetParam();
+    const Csr g = generateUniform(p);
+    EdgeId max_deg = 0;
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        max_deg = std::max(max_deg, g.degree(v));
+    // Poisson(32): the max degree stays within a small multiple.
+    EXPECT_LT(max_deg, 32u * 4);
+}
+
+TEST_P(GeneratorSeedTest, GeneratorsAreDeterministic)
+{
+    RmatParams p;
+    p.numVertices = 256;
+    p.numEdges = 1024;
+    p.seed = GetParam();
+    const Csr a = generateRmat(p);
+    const Csr b = generateRmat(p);
+    EXPECT_EQ(a.dests(), b.dests());
+    EXPECT_EQ(a.weights(), b.weights());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedTest,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+TEST(Generators, RoadGridIsSymmetricHighDiameter)
+{
+    RoadGridParams p;
+    p.width = 48;
+    p.height = 48;
+    p.seed = 3;
+    const Csr g = generateRoadGrid(p);
+    const Csr t = transpose(g);
+    EXPECT_EQ(t.dests(), g.dests());
+    const auto stats = computeStats(g);
+    EXPECT_GT(stats.approxDiameter, 40u);
+    EXPECT_LT(stats.avgDegree, 4.2);
+}
+
+TEST(Generators, SimpleShapes)
+{
+    EXPECT_EQ(generatePath(8).numEdges(), 7u);
+    EXPECT_EQ(generateStar(9).degree(0), 8u);
+    EXPECT_EQ(generateComplete(6).numEdges(), 30u);
+    EXPECT_EQ(generateCycle(5).numEdges(), 5u);
+    EXPECT_EQ(generateCycle(5).edgeDest(4), 0u);
+}
+
+TEST(Generators, WithRandomWeightsKeepsStructure)
+{
+    const Csr g = generatePath(32);
+    const Csr w = withRandomWeights(g, 50, 4);
+    EXPECT_EQ(w.rowPtr(), g.rowPtr());
+    EXPECT_EQ(w.dests(), g.dests());
+    EXPECT_TRUE(w.weighted());
+    for (EdgeId e = 0; e < w.numEdges(); ++e)
+        EXPECT_LE(w.edgeWeight(e), 50u);
+}
+
+TEST(GraphIo, EdgeListRoundTrip)
+{
+    RmatParams p;
+    p.numVertices = 64;
+    p.numEdges = 256;
+    p.seed = 1;
+    p.maxWeight = 9;
+    const Csr g = generateRmat(p);
+    std::stringstream ss;
+    writeEdgeList(g, ss);
+    const Csr h = buildCsr(readEdgeList(ss, g.numVertices()));
+    EXPECT_EQ(h.rowPtr(), g.rowPtr());
+    EXPECT_EQ(h.dests(), g.dests());
+    EXPECT_EQ(h.weights(), g.weights());
+}
+
+TEST(GraphIo, EdgeListSkipsComments)
+{
+    std::stringstream ss("# comment\n0 1\n% other\n1 2 7\n");
+    const auto list = readEdgeList(ss);
+    EXPECT_EQ(list.numVertices, 3u);
+    EXPECT_EQ(list.edges.size(), 2u);
+    EXPECT_EQ(list.edges[1].weight, 7u);
+}
+
+TEST(GraphIo, BinaryRoundTrip)
+{
+    RmatParams p;
+    p.numVertices = 128;
+    p.numEdges = 512;
+    p.seed = 11;
+    p.maxWeight = 200;
+    const Csr g = generateRmat(p);
+    std::stringstream ss;
+    writeBinary(g, ss);
+    const Csr h = readBinary(ss);
+    EXPECT_EQ(h.rowPtr(), g.rowPtr());
+    EXPECT_EQ(h.dests(), g.dests());
+    EXPECT_EQ(h.weights(), g.weights());
+}
+
+TEST(GraphIo, BinaryRejectsGarbage)
+{
+    std::stringstream ss("definitely not a graph");
+    EXPECT_THROW(readBinary(ss), nova::sim::FatalError);
+}
+
+TEST(GraphStats, PathDiameterAndComponents)
+{
+    const auto stats = computeStats(generatePath(33));
+    EXPECT_EQ(stats.numComponents, 1u);
+    EXPECT_EQ(stats.largestComponent, 33u);
+    EXPECT_EQ(stats.approxDiameter, 32u);
+}
+
+TEST(GraphStats, CountsDisjointComponents)
+{
+    EdgeList list;
+    list.numVertices = 9;
+    list.edges = {{0, 1, 1}, {1, 2, 1}, {3, 4, 1}, {6, 7, 1}, {7, 8, 1}};
+    const auto stats = computeStats(buildCsr(list));
+    EXPECT_EQ(stats.numComponents, 4u); // {0,1,2} {3,4} {5} {6,7,8}
+    EXPECT_EQ(stats.largestComponent, 3u);
+}
+
+TEST(GraphStats, HighestDegreeVertex)
+{
+    const Csr g = generateStar(10);
+    EXPECT_EQ(highestDegreeVertex(g), 0u);
+}
+
+class MappingTest : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(MappingTest, InterleaveRoundTrips)
+{
+    const std::uint32_t parts = GetParam();
+    const auto map = VertexMapping::interleave(1000, parts);
+    for (VertexId v = 0; v < 1000; ++v) {
+        const auto p = map.partOf(v);
+        ASSERT_LT(p, parts);
+        ASSERT_EQ(map.globalOf(p, map.localOf(v)), v);
+    }
+    VertexId total = 0;
+    for (std::uint32_t p = 0; p < parts; ++p)
+        total += map.localCount(p);
+    EXPECT_EQ(total, 1000u);
+}
+
+TEST_P(MappingTest, ChunkRoundTrips)
+{
+    const std::uint32_t parts = GetParam();
+    const auto map = VertexMapping::chunk(997, parts);
+    for (VertexId v = 0; v < 997; ++v)
+        ASSERT_EQ(map.globalOf(map.partOf(v), map.localOf(v)), v);
+}
+
+TEST_P(MappingTest, RandomMappingBalanced)
+{
+    const std::uint32_t parts = GetParam();
+    const auto map = randomMapping(1024, parts, 77);
+    const VertexId expect = 1024 / parts;
+    for (std::uint32_t p = 0; p < parts; ++p) {
+        ASSERT_GE(map.localCount(p), expect > 2 ? expect - 2 : 0);
+        ASSERT_LE(map.localCount(p), expect + 2);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Parts, MappingTest,
+                         ::testing::Values(1, 2, 7, 8, 64));
+
+TEST(Partition, LoadBalancedEvensOutEdges)
+{
+    RmatParams p;
+    p.numVertices = 2048;
+    p.numEdges = 1 << 15;
+    p.seed = 13;
+    const Csr g = generateRmat(p);
+    const auto lb = loadBalancedMapping(g, 8);
+    const auto counts = edgesPerPart(g, lb);
+    const auto [mn, mx] = std::minmax_element(counts.begin(),
+                                              counts.end());
+    EXPECT_LT(static_cast<double>(*mx),
+              1.35 * static_cast<double>(std::max<EdgeId>(1, *mn)));
+}
+
+TEST(Partition, LocalityMappingCutsFewerEdges)
+{
+    RoadGridParams p;
+    p.width = 64;
+    p.height = 64;
+    p.seed = 5;
+    const Csr g = generateRoadGrid(p);
+    const auto rnd = randomMapping(g.numVertices(), 8, 1);
+    const auto loc = localityMapping(g, 8);
+    EXPECT_LT(cutFraction(g, loc), 0.5 * cutFraction(g, rnd));
+}
+
+TEST(Partition, ExplicitAssignmentValidated)
+{
+    EXPECT_THROW(VertexMapping::fromAssignment({0, 1, 9}, 2),
+                 nova::sim::PanicError);
+}
+
+TEST(Presets, ScaleControlsSize)
+{
+    const auto big = makeTwitter(4000);
+    const auto small = makeTwitter(8000);
+    EXPECT_GT(big.graph.numVertices(), small.graph.numVertices());
+    EXPECT_EQ(big.paperVertices, small.paperVertices);
+}
+
+TEST(Presets, AllFiveGraphsPresentInOrder)
+{
+    const auto all = paperGraphs(8000);
+    ASSERT_EQ(all.size(), 5u);
+    EXPECT_EQ(all[0].name, "roadusa");
+    EXPECT_EQ(all[1].name, "twitter");
+    EXPECT_EQ(all[2].name, "friendster");
+    EXPECT_EQ(all[3].name, "host");
+    EXPECT_EQ(all[4].name, "urand");
+    for (const auto &named : all)
+        EXPECT_GT(named.graph.numEdges(), 0u);
+}

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Unit tests of the memory models: DRAM channel timing behaviour,
+ * multi-channel routing, backpressure, and the direct-mapped
+ * write-back cache with MSHRs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+
+using namespace nova;
+using namespace nova::mem;
+using sim::Addr;
+using sim::EventQueue;
+using sim::Tick;
+
+namespace
+{
+
+DramTiming
+fastTiming()
+{
+    DramTiming t = DramTiming::hbm2Channel();
+    return t;
+}
+
+} // namespace
+
+TEST(DramChannel, SingleAccessLatencyBounds)
+{
+    EventQueue eq;
+    DramChannel ch("ch", eq, fastTiming());
+    Tick done_at = 0;
+    ASSERT_TRUE(ch.tryAccess(0, false, [&] { done_at = eq.now(); }));
+    eq.run();
+    const auto &t = ch.timing();
+    // First access: row miss.
+    EXPECT_EQ(done_at, t.frontendLatency + t.tRowMiss + t.tBurst);
+}
+
+TEST(DramChannel, RowHitFasterThanMiss)
+{
+    EventQueue eq;
+    DramChannel ch("ch", eq, fastTiming());
+    Tick first = 0, second = 0;
+    ASSERT_TRUE(ch.tryAccess(0, false, [&] { first = eq.now(); }));
+    eq.run();
+    ASSERT_TRUE(ch.tryAccess(0, false, [&] { second = eq.now(); }));
+    eq.run();
+    EXPECT_LT(second - first, first);
+    EXPECT_EQ(ch.rowHits.value(), 1.0);
+    EXPECT_EQ(ch.rowMisses.value(), 1.0);
+}
+
+TEST(DramChannel, BankParallelismOverlaps)
+{
+    // N accesses to N different banks should take far less than N
+    // serialized accesses.
+    EventQueue eq;
+    DramChannel ch("ch", eq, fastTiming());
+    const auto &t = ch.timing();
+    int done = 0;
+    for (std::uint32_t b = 0; b < t.numBanks; ++b)
+        ASSERT_TRUE(ch.tryAccess(static_cast<Addr>(b) * t.accessBytes,
+                                 false, [&] { ++done; }));
+    eq.run();
+    EXPECT_EQ(done, static_cast<int>(t.numBanks));
+    const Tick serialized =
+        t.numBanks * (t.frontendLatency + t.tRowMiss + t.tBurst);
+    EXPECT_LT(eq.now(), serialized / 4);
+}
+
+TEST(DramChannel, SameBankSerializes)
+{
+    EventQueue eq;
+    DramChannel ch("ch", eq, fastTiming());
+    const auto &t = ch.timing();
+    // Two different rows of the same bank: second waits for the first
+    // bank cycle and misses again.
+    const Addr row_stride =
+        static_cast<Addr>(t.numBanks) * t.rowBytes;
+    int done = 0;
+    ASSERT_TRUE(ch.tryAccess(0, false, [&] { ++done; }));
+    ASSERT_TRUE(ch.tryAccess(row_stride, false, [&] { ++done; }));
+    eq.run();
+    EXPECT_EQ(done, 2);
+    EXPECT_GE(eq.now(), 2 * (t.tRowMiss + t.tBurst));
+    EXPECT_EQ(ch.rowMisses.value(), 2.0);
+}
+
+TEST(DramChannel, BackpressureAndWaiters)
+{
+    EventQueue eq;
+    DramTiming t = fastTiming();
+    t.queueCapacity = 4;
+    DramChannel ch("ch", eq, t);
+    int done = 0;
+    int rejected = 0;
+    for (int i = 0; i < 8; ++i)
+        if (!ch.tryAccess(static_cast<Addr>(i) * 32, false,
+                          [&] { ++done; }))
+            ++rejected;
+    EXPECT_EQ(rejected, 4);
+    bool woken = false;
+    ch.waitForSpace([&] { woken = true; });
+    eq.run();
+    EXPECT_TRUE(woken);
+    EXPECT_EQ(done, 4);
+}
+
+TEST(DramChannel, BandwidthAccountingConserved)
+{
+    EventQueue eq;
+    DramChannel ch("ch", eq, fastTiming());
+    sim::Rng rng(3);
+    int issued = 0;
+    std::function<void()> feed = [&] {
+        while (issued < 400 &&
+               ch.tryAccess(rng.next() % (1 << 24), (rng.next() & 1),
+                            [&] { feed(); }))
+            ++issued;
+    };
+    feed();
+    eq.run();
+    EXPECT_EQ(ch.bytesRead.value() + ch.bytesWritten.value(),
+              400.0 * ch.timing().accessBytes);
+    EXPECT_EQ(ch.numAccesses.value(), 400.0);
+    // Achieved bandwidth can never exceed the bus peak.
+    EXPECT_LE(ch.achievedBytesPerSec(),
+              ch.timing().peakBytesPerSec() * 1.001);
+}
+
+TEST(DramChannel, SequentialStreamMostlyRowHits)
+{
+    EventQueue eq;
+    DramChannel ch("ch", eq, DramTiming::ddr4Channel());
+    int outstanding = 0;
+    Addr next = 0;
+    std::function<void()> feed = [&] {
+        while (next < 4096 * 64 &&
+               ch.tryAccess(next, false, [&] { --outstanding; feed(); })) {
+            next += 64;
+            ++outstanding;
+        }
+    };
+    feed();
+    eq.run();
+    EXPECT_GT(ch.rowHits.value(), 0.9 * ch.numAccesses.value());
+}
+
+TEST(MemorySystem, SplitsAcrossChannels)
+{
+    EventQueue eq;
+    MemorySystem mem("mem", eq, DramTiming::ddr4Channel(), 4);
+    int done = 0;
+    // 256 B spans 4 atoms -> one per channel with atom interleaving.
+    ASSERT_TRUE(mem.tryAccess(0, 256, false, [&] { ++done; }));
+    eq.run();
+    EXPECT_EQ(done, 1); // one completion for the whole request
+    for (std::uint32_t c = 0; c < 4; ++c)
+        EXPECT_EQ(mem.channel(c).numAccesses.value(), 1.0);
+}
+
+TEST(MemorySystem, CallbackFiresOnceOnLastAtom)
+{
+    EventQueue eq;
+    MemorySystem mem("mem", eq, DramTiming::hbm2Channel(), 2);
+    int done = 0;
+    ASSERT_TRUE(mem.tryAccess(5, 100, true, [&] { ++done; }));
+    eq.run();
+    EXPECT_EQ(done, 1);
+    EXPECT_EQ(mem.totalBytes(), 4 * 32.0); // 5..105 covers 4 atoms
+}
+
+TEST(MemorySystem, AllOrNothingAdmission)
+{
+    EventQueue eq;
+    DramTiming t = DramTiming::hbm2Channel();
+    t.queueCapacity = 2;
+    MemorySystem mem("mem", eq, t, 1);
+    // 3 atoms > capacity 2: rejected atomically, nothing enqueued.
+    EXPECT_FALSE(mem.tryAccess(0, 96, false, [] {}));
+    EXPECT_EQ(mem.channel(0).queued(), 0u);
+}
+
+TEST(MemorySystem, PeakBandwidthSums)
+{
+    EventQueue eq;
+    MemorySystem mem("mem", eq, DramTiming::ddr4Channel(), 4);
+    EXPECT_NEAR(mem.peakBytesPerSec(), 4 * 19.2e9, 1e8);
+}
+
+TEST(Cache, HitAfterFill)
+{
+    EventQueue eq;
+    MemorySystem mem("mem", eq, fastTiming(), 1);
+    CacheConfig cfg;
+    cfg.sizeBytes = 1024;
+    DirectMappedCache cache("c", eq, cfg, mem);
+    int done = 0;
+    ASSERT_TRUE(cache.access(64, false, [&] { ++done; }));
+    eq.run();
+    EXPECT_EQ(cache.misses.value(), 1.0);
+    EXPECT_TRUE(cache.contains(64));
+    ASSERT_TRUE(cache.access(64, false, [&] { ++done; }));
+    const Tick before = eq.now();
+    eq.run();
+    EXPECT_EQ(cache.hits.value(), 1.0);
+    EXPECT_EQ(eq.now() - before, cfg.hitLatency);
+    EXPECT_EQ(done, 2);
+}
+
+TEST(Cache, MshrMergesSameLine)
+{
+    EventQueue eq;
+    MemorySystem mem("mem", eq, fastTiming(), 1);
+    CacheConfig cfg;
+    DirectMappedCache cache("c", eq, cfg, mem);
+    int done = 0;
+    ASSERT_TRUE(cache.access(128, false, [&] { ++done; }));
+    ASSERT_TRUE(cache.access(130, true, [&] { ++done; })); // same line
+    eq.run();
+    EXPECT_EQ(done, 2);
+    // Only one memory fill for the merged line.
+    EXPECT_EQ(mem.channel(0).numAccesses.value(), 1.0);
+}
+
+TEST(Cache, DirtyEvictionWritesBackAndHooks)
+{
+    EventQueue eq;
+    MemorySystem mem("mem", eq, fastTiming(), 1);
+    CacheConfig cfg;
+    cfg.sizeBytes = 64; // 2 lines
+    cfg.lineBytes = 32;
+    DirectMappedCache cache("c", eq, cfg, mem);
+    std::vector<Addr> evicted;
+    cache.setEvictHook([&](Addr a) { evicted.push_back(a); });
+
+    ASSERT_TRUE(cache.access(0, true, [] {}));
+    eq.run();
+    // Conflicting line (same index 0, different tag) evicts dirty 0.
+    ASSERT_TRUE(cache.access(64, false, [] {}));
+    eq.run();
+    EXPECT_EQ(cache.evictions.value(), 1.0);
+    EXPECT_EQ(cache.writebacks.value(), 1.0);
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0], 0u);
+    // A clean eviction does not write back.
+    ASSERT_TRUE(cache.access(128, false, [] {}));
+    eq.run();
+    EXPECT_EQ(cache.evictions.value(), 2.0);
+    EXPECT_EQ(cache.writebacks.value(), 1.0);
+}
+
+TEST(Cache, MshrExhaustionRejectsAndWakes)
+{
+    EventQueue eq;
+    MemorySystem mem("mem", eq, fastTiming(), 1);
+    CacheConfig cfg;
+    cfg.sizeBytes = 1 << 16;
+    cfg.numMshrs = 2;
+    DirectMappedCache cache("c", eq, cfg, mem);
+    int done = 0;
+    ASSERT_TRUE(cache.access(0, false, [&] { ++done; }));
+    ASSERT_TRUE(cache.access(32, false, [&] { ++done; }));
+    EXPECT_FALSE(cache.access(96, false, [&] { ++done; }));
+    EXPECT_EQ(cache.mshrRejects.value(), 1.0);
+    bool woken = false;
+    cache.waitForSpace([&] { woken = true; });
+    eq.run();
+    EXPECT_TRUE(woken);
+    EXPECT_EQ(done, 2);
+}
+
+TEST(Cache, FlushAllDirtyInvokesHook)
+{
+    EventQueue eq;
+    MemorySystem mem("mem", eq, fastTiming(), 1);
+    CacheConfig cfg;
+    cfg.sizeBytes = 256;
+    DirectMappedCache cache("c", eq, cfg, mem);
+    int flushed = 0;
+    cache.setEvictHook([&](Addr) { ++flushed; });
+    for (Addr a = 0; a < 256; a += 32)
+        cache.access(a, true, [] {});
+    eq.run();
+    cache.flushAllDirty();
+    EXPECT_EQ(flushed, 8);
+    EXPECT_EQ(cache.writebacks.value(), 8.0);
+}
+
+TEST(Cache, RandomStressCompletesAllAccesses)
+{
+    EventQueue eq;
+    MemorySystem mem("mem", eq, fastTiming(), 1);
+    CacheConfig cfg;
+    cfg.sizeBytes = 512;
+    cfg.numMshrs = 8;
+    DirectMappedCache cache("c", eq, cfg, mem);
+    sim::Rng rng(17);
+    int done = 0;
+    int issued = 0;
+    std::function<void()> feed = [&] {
+        while (issued < 2000) {
+            const Addr a = (rng.next() % (1 << 14)) / 32 * 32;
+            if (!cache.access(a, rng.next() & 1, [&] { ++done; feed(); })) {
+                cache.waitForSpace([&] { feed(); });
+                return;
+            }
+            ++issued;
+        }
+    };
+    feed();
+    eq.run();
+    EXPECT_EQ(done, 2000);
+    EXPECT_EQ(cache.hits.value() + cache.misses.value(), 2000.0);
+}

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Unit tests of the vertex programs (operator semantics, payload
+ * packing) and the sequential reference implementations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hh"
+#include "workloads/programs.hh"
+#include "workloads/reference.hh"
+
+using namespace nova;
+using namespace nova::workloads;
+using graph::VertexId;
+
+TEST(Packing, DoubleRoundTrip)
+{
+    for (const double d : {0.0, 1.5, -3.25e10, 1e-300}) {
+        EXPECT_EQ(unpackDouble(packDouble(d)), d);
+    }
+}
+
+TEST(Packing, LevelSigmaRoundTrip)
+{
+    const std::uint64_t p = packLevelSigma(1234, 0x123456789ABULL);
+    EXPECT_EQ(unpackLevel(p), 1234u);
+    EXPECT_EQ(unpackSigma(p), 0x123456789ABULL);
+}
+
+TEST(Packing, ValueLevelKeepsPrecision)
+{
+    const double v = 0.3333333333333;
+    const std::uint64_t p = packValueLevel(v, 77);
+    EXPECT_EQ(unpackValueLevel(p), 77u);
+    EXPECT_NEAR(unpackValue(p), v, 1e-9 * v);
+}
+
+TEST(BfsProgram, Operators)
+{
+    BfsProgram bfs(3);
+    EXPECT_EQ(bfs.mode(), ExecMode::Async);
+    EXPECT_EQ(bfs.initialProp(3), 0u);
+    EXPECT_EQ(bfs.initialProp(0), infProp);
+    EXPECT_EQ(bfs.initialActive(), std::vector<VertexId>{3});
+    EXPECT_EQ(bfs.reduce(5, 9, 5), 5u);
+    EXPECT_EQ(bfs.reduce(9, 5, 9), 5u);
+    EXPECT_EQ(bfs.propagate(4, 100), 5u); // weight ignored
+    EXPECT_TRUE(bfs.activates(9, 5));
+    EXPECT_FALSE(bfs.activates(5, 5));
+}
+
+TEST(SsspProgram, UsesWeights)
+{
+    SsspProgram sssp(0);
+    EXPECT_EQ(sssp.propagate(10, 7), 17u);
+    EXPECT_EQ(sssp.reduce(20, 17, 20), 17u);
+}
+
+TEST(CcProgram, AllVerticesStartActive)
+{
+    const auto g = graph::generateCycle(6);
+    CcProgram cc;
+    cc.bind(g);
+    EXPECT_EQ(cc.initialActive().size(), 6u);
+    EXPECT_EQ(cc.initialProp(4), 4u);
+    EXPECT_EQ(cc.propagate(2, 55), 2u); // label, weight ignored
+}
+
+TEST(PageRankProgram, BarrierAccumulatesRank)
+{
+    const auto g = graph::generateComplete(4);
+    PageRankProgram pr(0.85, 1e-9, 10);
+    pr.bind(g);
+    const double base = 0.15 / 4;
+    EXPECT_NEAR(unpackDouble(pr.initialProp(0)), base, 1e-12);
+    // A vertex receiving 0.1 of delta gains 0.1 of rank.
+    const auto out = pr.bspApply(packDouble(base), packDouble(0.1), 2);
+    EXPECT_TRUE(out.active);
+    EXPECT_NEAR(pr.rank()[2], base + 0.1, 1e-12);
+    EXPECT_NEAR(unpackDouble(out.newCur), 0.1, 1e-12);
+    EXPECT_EQ(unpackDouble(out.newAcc), 0.0);
+    // Tiny deltas deactivate.
+    const auto idle = pr.bspApply(packDouble(0.1), packDouble(1e-12), 2);
+    EXPECT_FALSE(idle.active);
+}
+
+TEST(PageRankProgram, PropagateDividesByDegree)
+{
+    const auto g = graph::generateStar(5); // vertex 0 has degree 4
+    PageRankProgram pr(0.85, 1e-9, 10);
+    pr.bind(g);
+    const std::uint64_t v =
+        pr.propagateValue(packDouble(0.4), 0);
+    EXPECT_NEAR(unpackDouble(v), 0.85 * 0.4 / 4, 1e-12);
+    // Degree-0 vertices contribute nothing.
+    EXPECT_EQ(unpackDouble(pr.propagateValue(packDouble(0.4), 3)), 0.0);
+}
+
+TEST(BcForwardProgram, SigmaAccumulatesAtEqualLevel)
+{
+    BcForwardProgram fwd(0);
+    const std::uint64_t a = packLevelSigma(2, 3);
+    const std::uint64_t b = packLevelSigma(2, 5);
+    const std::uint64_t merged = fwd.reduce(a, b, a);
+    EXPECT_EQ(unpackLevel(merged), 2u);
+    EXPECT_EQ(unpackSigma(merged), 8u);
+    // Lower level wins outright.
+    const std::uint64_t lower = packLevelSigma(1, 7);
+    EXPECT_EQ(fwd.reduce(a, lower, a), lower);
+    EXPECT_EQ(fwd.reduce(lower, a, lower), lower);
+}
+
+TEST(BcForwardProgram, BarrierActivatesOnImprovement)
+{
+    BcForwardProgram fwd(0);
+    const std::uint64_t unreached =
+        packLevelSigma(BcForwardProgram::unreachedLevel, 0);
+    const auto out = fwd.bspApply(unreached, packLevelSigma(3, 2), 1);
+    EXPECT_TRUE(out.active);
+    EXPECT_EQ(unpackLevel(out.newCur), 3u);
+    // Stale (deeper) accumulations do not reactivate.
+    const auto stale =
+        fwd.bspApply(packLevelSigma(3, 2), packLevelSigma(4, 9), 1);
+    EXPECT_FALSE(stale.active);
+    EXPECT_EQ(unpackLevel(stale.newCur), 3u);
+}
+
+TEST(BcBackwardProgram, FiltersByLevel)
+{
+    const auto g = graph::symmetrize(graph::generatePath(4));
+    std::vector<std::uint32_t> level = {0, 1, 2, 3};
+    std::vector<std::uint64_t> sigma = {1, 1, 1, 1};
+    BcBackwardProgram bwd(level, sigma, 3);
+    bwd.bind(g);
+    // A message from level 2 is accepted by a level-1 vertex...
+    const std::uint64_t upd = packValueLevel(0.5, 2);
+    const std::uint64_t cur1 = packLevelSigma(1, 1);
+    EXPECT_NEAR(unpackDouble(bwd.reduce(packDouble(0.0), upd, cur1)),
+                0.5, 1e-9);
+    // ...but rejected by a level-2 or level-0 vertex.
+    const std::uint64_t cur2 = packLevelSigma(2, 1);
+    EXPECT_EQ(bwd.reduce(packDouble(0.0), upd, cur2), packDouble(0.0));
+    const std::uint64_t cur0 = packLevelSigma(0, 1);
+    EXPECT_EQ(bwd.reduce(packDouble(0.0), upd, cur0), packDouble(0.0));
+}
+
+TEST(BcBackwardProgram, ScheduleDescendsFromDeepest)
+{
+    const auto g = graph::symmetrize(graph::generatePath(4));
+    std::vector<std::uint32_t> level = {0, 1, 2,
+                                        BcForwardProgram::unreachedLevel};
+    std::vector<std::uint64_t> sigma = {1, 1, 1, 0};
+    BcBackwardProgram bwd(level, sigma, 2);
+    bwd.bind(g);
+    EXPECT_EQ(bwd.scheduledActivation(2), 0);
+    EXPECT_EQ(bwd.scheduledActivation(1), 1);
+    EXPECT_EQ(bwd.scheduledActivation(0), 2);
+    EXPECT_EQ(bwd.scheduledActivation(3), -1); // unreached
+}
+
+TEST(Reference, BfsOnKnownShapes)
+{
+    const auto star = graph::generateStar(5);
+    const auto d = reference::bfsDepths(star, 0);
+    EXPECT_EQ(d[0], 0u);
+    for (VertexId v = 1; v < 5; ++v)
+        EXPECT_EQ(d[v], 1u);
+    // Unreached from a leaf.
+    const auto d2 = reference::bfsDepths(star, 1);
+    EXPECT_EQ(d2[0], infProp);
+}
+
+TEST(Reference, SsspPrefersLightPath)
+{
+    graph::EdgeList list;
+    list.numVertices = 3;
+    list.edges = {{0, 2, 10}, {0, 1, 2}, {1, 2, 3}};
+    const auto g = graph::buildCsr(list);
+    const auto d = reference::ssspDistances(g, 0);
+    EXPECT_EQ(d[2], 5u); // via vertex 1
+}
+
+TEST(Reference, CcLabelsAreComponentMinima)
+{
+    graph::EdgeList list;
+    list.numVertices = 6;
+    list.edges = {{5, 4, 1}, {4, 3, 1}, {1, 2, 1}};
+    const auto g = graph::buildCsr(list);
+    const auto labels = reference::ccLabels(g);
+    EXPECT_EQ(labels[5], 3u);
+    EXPECT_EQ(labels[4], 3u);
+    EXPECT_EQ(labels[3], 3u);
+    EXPECT_EQ(labels[1], 1u);
+    EXPECT_EQ(labels[2], 1u);
+    EXPECT_EQ(labels[0], 0u);
+}
+
+TEST(Reference, PagerankSumsBelowOne)
+{
+    graph::RmatParams p;
+    p.numVertices = 256;
+    p.numEdges = 2048;
+    p.seed = 10;
+    const auto g = graph::generateRmat(p);
+    const auto rank = reference::pagerankDelta(g, 0.85, 1e-12, 30);
+    double sum = 0;
+    for (const double r : rank) {
+        EXPECT_GE(r, 0.0);
+        sum += r;
+    }
+    EXPECT_LE(sum, 1.0 + 1e-9);
+    EXPECT_GT(sum, 0.1);
+}
+
+TEST(Reference, BcPathDependencies)
+{
+    // On a path 0-1-2-3 (symmetric), delta from source 0:
+    // delta[2] = 1 (for 3), delta[1] = 2 (for 2 and 3), delta[3] = 0.
+    const auto g = graph::symmetrize(graph::generatePath(4));
+    const auto delta = reference::bcDependencies(g, 0);
+    EXPECT_NEAR(delta[1], 2.0, 1e-12);
+    EXPECT_NEAR(delta[2], 1.0, 1e-12);
+    EXPECT_NEAR(delta[3], 0.0, 1e-12);
+}
+
+TEST(Reference, SequentialEdgeWorkCountsReachedDegrees)
+{
+    const auto g = graph::generateStar(5);
+    EXPECT_EQ(reference::sequentialEdgeWork(g, 0), 4u);
+    EXPECT_EQ(reference::sequentialEdgeWork(g, 1), 0u);
+}

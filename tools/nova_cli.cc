@@ -1,0 +1,295 @@
+/**
+ * @file
+ * nova_cli — run any workload on any engine from the command line.
+ *
+ *   nova_cli --engine=nova --workload=bfs --graph=twitter --scale=2000
+ *   nova_cli --engine=polygraph --workload=pr --graph=rmat:16384:262144
+ *   nova_cli --engine=nova --workload=sssp --graph=file:my.el --gpns=4
+ *
+ * Options (defaults in brackets):
+ *   --engine=nova|polygraph|ligra            [nova]
+ *   --workload=bfs|sssp|cc|pr|bc             [bfs]
+ *   --graph=roadusa|twitter|friendster|host|urand
+ *           |rmat:<V>:<E>|uniform:<V>:<E>|grid:<W>:<H>|file:<path>
+ *                                            [twitter]
+ *   --scale=<S>      preset scale denominator          [1000]
+ *   --gpns=<N>       NOVA GPN count                    [1]
+ *   --cache=<bytes>  per-PE cache                      [scaled 64 KiB]
+ *   --sbdim=<N>      tracker superblock dimension      [128]
+ *   --buffer=<N>     active-buffer entries             [80]
+ *   --fabric=hier|ideal|p2p                            [hier]
+ *   --mapping=random|loadbalanced|locality|interleave  [random]
+ *   --src=<v>        traversal source  [highest out-degree]
+ *   --seed=<n>       mapping/graph seed                [1]
+ *   --no-validate    skip the reference check
+ *   --stats          dump all engine statistics
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baselines/ligra.hh"
+#include "baselines/polygraph.hh"
+#include "core/system.hh"
+#include "graph/generators.hh"
+#include "graph/graph_stats.hh"
+#include "graph/io.hh"
+#include "graph/partition.hh"
+#include "graph/presets.hh"
+#include "workloads/bc.hh"
+#include "workloads/programs.hh"
+#include "workloads/reference.hh"
+
+using namespace nova;
+
+namespace
+{
+
+struct CliOptions
+{
+    std::string engine = "nova";
+    std::string workload = "bfs";
+    std::string graphSpec = "twitter";
+    std::string mapping = "random";
+    std::string fabric = "hier";
+    double scale = 1000;
+    std::uint32_t gpns = 1;
+    std::uint32_t cacheBytes = 0;
+    std::uint32_t sbDim = 128;
+    std::uint32_t bufferEntries = 80;
+    std::int64_t src = -1;
+    std::uint64_t seed = 1;
+    bool validate = true;
+    bool dumpStats = false;
+};
+
+bool
+takeValue(const char *arg, const char *key, std::string &out)
+{
+    const std::size_t n = std::strlen(key);
+    if (std::strncmp(arg, key, n) == 0) {
+        out = arg + n;
+        return true;
+    }
+    return false;
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions o;
+    std::string v;
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (takeValue(a, "--engine=", o.engine) ||
+            takeValue(a, "--workload=", o.workload) ||
+            takeValue(a, "--graph=", o.graphSpec) ||
+            takeValue(a, "--mapping=", o.mapping) ||
+            takeValue(a, "--fabric=", o.fabric))
+            continue;
+        if (takeValue(a, "--scale=", v))
+            o.scale = std::atof(v.c_str());
+        else if (takeValue(a, "--gpns=", v))
+            o.gpns = static_cast<std::uint32_t>(std::atoi(v.c_str()));
+        else if (takeValue(a, "--cache=", v))
+            o.cacheBytes =
+                static_cast<std::uint32_t>(std::atoi(v.c_str()));
+        else if (takeValue(a, "--sbdim=", v))
+            o.sbDim = static_cast<std::uint32_t>(std::atoi(v.c_str()));
+        else if (takeValue(a, "--buffer=", v))
+            o.bufferEntries =
+                static_cast<std::uint32_t>(std::atoi(v.c_str()));
+        else if (takeValue(a, "--src=", v))
+            o.src = std::atoll(v.c_str());
+        else if (takeValue(a, "--seed=", v))
+            o.seed = static_cast<std::uint64_t>(std::atoll(v.c_str()));
+        else if (std::strcmp(a, "--no-validate") == 0)
+            o.validate = false;
+        else if (std::strcmp(a, "--stats") == 0)
+            o.dumpStats = true;
+        else
+            sim::fatal("unknown option '", a,
+                       "' (see the header of tools/nova_cli.cc)");
+    }
+    return o;
+}
+
+graph::Csr
+makeGraph(const CliOptions &o)
+{
+    const std::string &s = o.graphSpec;
+    if (s == "roadusa")
+        return graph::makeRoadUsa(o.scale, o.seed).graph;
+    if (s == "twitter")
+        return graph::makeTwitter(o.scale, o.seed).graph;
+    if (s == "friendster")
+        return graph::makeFriendster(o.scale, o.seed).graph;
+    if (s == "host")
+        return graph::makeHost(o.scale, o.seed).graph;
+    if (s == "urand")
+        return graph::makeUrand(o.scale, o.seed).graph;
+
+    const auto colon1 = s.find(':');
+    const std::string kind = s.substr(0, colon1);
+    if (kind == "file")
+        return graph::loadEdgeListFile(s.substr(colon1 + 1));
+    const auto colon2 = s.find(':', colon1 + 1);
+    if (colon1 == std::string::npos || colon2 == std::string::npos)
+        sim::fatal("bad --graph spec '", s, "'");
+    const auto p1 = std::strtoull(s.c_str() + colon1 + 1, nullptr, 10);
+    const auto p2 = std::strtoull(s.c_str() + colon2 + 1, nullptr, 10);
+    if (kind == "rmat") {
+        graph::RmatParams p;
+        p.numVertices = static_cast<graph::VertexId>(p1);
+        p.numEdges = p2;
+        p.maxWeight = 255;
+        p.seed = o.seed;
+        return graph::generateRmat(p);
+    }
+    if (kind == "uniform") {
+        graph::UniformParams p;
+        p.numVertices = static_cast<graph::VertexId>(p1);
+        p.numEdges = p2;
+        p.maxWeight = 255;
+        p.seed = o.seed;
+        return graph::generateUniform(p);
+    }
+    if (kind == "grid") {
+        graph::RoadGridParams p;
+        p.width = static_cast<graph::VertexId>(p1);
+        p.height = static_cast<graph::VertexId>(p2);
+        p.maxWeight = 255;
+        p.seed = o.seed;
+        return graph::generateRoadGrid(p);
+    }
+    sim::fatal("bad --graph spec '", s, "'");
+}
+
+std::unique_ptr<workloads::GraphEngine>
+makeEngine(const CliOptions &o)
+{
+    if (o.engine == "nova") {
+        core::NovaConfig cfg = core::NovaConfig{}.scaled(o.scale);
+        cfg.numGpns = o.gpns;
+        if (o.cacheBytes)
+            cfg.cacheBytesPerPe = o.cacheBytes;
+        cfg.superblockDim = o.sbDim;
+        cfg.activeBufferEntries = o.bufferEntries;
+        if (o.fabric == "ideal")
+            cfg.fabric = noc::FabricKind::Ideal;
+        else if (o.fabric == "p2p")
+            cfg.fabric = noc::FabricKind::PointToPoint;
+        return std::make_unique<core::NovaSystem>(cfg);
+    }
+    if (o.engine == "polygraph")
+        return std::make_unique<baselines::PolyGraphModel>(
+            baselines::PolyGraphConfig{}.scaled(o.scale));
+    if (o.engine == "ligra")
+        return std::make_unique<baselines::LigraEngine>();
+    sim::fatal("unknown engine '", o.engine, "'");
+}
+
+graph::VertexMapping
+makeMapping(const CliOptions &o, const graph::Csr &g,
+            std::uint32_t parts)
+{
+    if (o.mapping == "random")
+        return graph::randomMapping(g.numVertices(), parts, o.seed);
+    if (o.mapping == "loadbalanced")
+        return graph::loadBalancedMapping(g, parts);
+    if (o.mapping == "locality")
+        return graph::localityMapping(g, parts);
+    if (o.mapping == "interleave")
+        return graph::VertexMapping::interleave(g.numVertices(), parts);
+    sim::fatal("unknown mapping '", o.mapping, "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    const CliOptions o = parseArgs(argc, argv);
+
+    graph::Csr g = makeGraph(o);
+    const bool needs_symmetric = o.workload == "cc" || o.workload == "bc";
+    if (needs_symmetric)
+        g = graph::symmetrize(g);
+    const graph::VertexId src =
+        o.src >= 0 ? static_cast<graph::VertexId>(o.src)
+                   : graph::highestDegreeVertex(g);
+
+    auto engine = makeEngine(o);
+    const std::uint32_t parts =
+        o.engine == "nova" ? o.gpns * 8 : 1;
+    const auto map = makeMapping(o, g, parts);
+
+    std::printf("engine=%s workload=%s graph=%s (V=%u, E=%llu) src=%u\n",
+                o.engine.c_str(), o.workload.c_str(),
+                o.graphSpec.c_str(), g.numVertices(),
+                static_cast<unsigned long long>(g.numEdges()), src);
+
+    workloads::RunResult r;
+    bool valid = true;
+    namespace ref = workloads::reference;
+    if (o.workload == "bfs") {
+        workloads::BfsProgram prog(src);
+        r = engine->run(prog, g, map);
+        if (o.validate)
+            valid = r.props == ref::bfsDepths(g, src);
+    } else if (o.workload == "sssp") {
+        workloads::SsspProgram prog(src);
+        r = engine->run(prog, g, map);
+        if (o.validate)
+            valid = r.props == ref::ssspDistances(g, src);
+    } else if (o.workload == "cc") {
+        workloads::CcProgram prog;
+        r = engine->run(prog, g, map);
+        if (o.validate)
+            valid = r.props == ref::ccLabels(g);
+    } else if (o.workload == "pr") {
+        workloads::PageRankProgram prog(0.85, 1e-9, 10);
+        r = engine->run(prog, g, map);
+        if (o.validate) {
+            const auto want = ref::pagerankDelta(g, 0.85, 1e-9, 10);
+            for (graph::VertexId v = 0; v < g.numVertices(); ++v)
+                valid = valid && std::abs(prog.rank()[v] - want[v]) <=
+                                     1e-9 + 1e-5 * want[v];
+        }
+    } else if (o.workload == "bc") {
+        const auto bc = workloads::runBc(*engine, g, map, src);
+        r = bc.forward;
+        r.ticks = bc.totalTicks();
+        r.messagesGenerated = bc.totalEdgesTraversed();
+        if (o.validate) {
+            const auto want = ref::bcDependencies(g, src);
+            for (graph::VertexId v = 0; v < g.numVertices(); ++v)
+                valid = valid &&
+                        std::abs(bc.centrality[v] - want[v]) <=
+                            1e-4 + 1e-2 * std::abs(want[v]);
+        }
+    } else {
+        sim::fatal("unknown workload '", o.workload, "'");
+    }
+
+    std::printf("time: %.6f ms %s\n", r.seconds() * 1e3,
+                o.engine == "ligra" ? "(wall)" : "(simulated)");
+    std::printf("throughput: %.3f GTEPS over %llu traversed edges\n",
+                r.gteps(),
+                static_cast<unsigned long long>(r.messagesGenerated));
+    std::printf("coalesced: %.2f%%; BSP supersteps: %llu\n",
+                100 * r.coalescingRate(),
+                static_cast<unsigned long long>(r.bspIterations));
+    if (o.validate)
+        std::printf("validation: %s\n", valid ? "OK" : "MISMATCH");
+    if (o.dumpStats)
+        for (const auto &[k, val] : r.extra)
+            std::printf("  %-42s %.6g\n", k.c_str(), val);
+    return valid ? 0 : 1;
+} catch (const std::exception &e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+}
