@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_async_vs_bsp.dir/ablation_async_vs_bsp.cc.o"
+  "CMakeFiles/ablation_async_vs_bsp.dir/ablation_async_vs_bsp.cc.o.d"
+  "ablation_async_vs_bsp"
+  "ablation_async_vs_bsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_async_vs_bsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

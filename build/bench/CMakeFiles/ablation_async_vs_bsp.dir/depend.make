@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_async_vs_bsp.
+# This may be replaced when dependencies are built.

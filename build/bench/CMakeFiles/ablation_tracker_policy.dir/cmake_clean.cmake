@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tracker_policy.dir/ablation_tracker_policy.cc.o"
+  "CMakeFiles/ablation_tracker_policy.dir/ablation_tracker_policy.cc.o.d"
+  "ablation_tracker_policy"
+  "ablation_tracker_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tracker_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

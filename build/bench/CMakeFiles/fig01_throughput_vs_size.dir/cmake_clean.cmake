@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_throughput_vs_size.dir/fig01_throughput_vs_size.cc.o"
+  "CMakeFiles/fig01_throughput_vs_size.dir/fig01_throughput_vs_size.cc.o.d"
+  "fig01_throughput_vs_size"
+  "fig01_throughput_vs_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_throughput_vs_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

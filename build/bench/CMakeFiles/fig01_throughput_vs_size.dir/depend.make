@@ -1,0 +1,2 @@
+# Empty dependencies file for fig01_throughput_vs_size.
+# This may be replaced when dependencies are built.

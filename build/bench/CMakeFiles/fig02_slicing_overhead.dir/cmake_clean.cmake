@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_slicing_overhead.dir/fig02_slicing_overhead.cc.o"
+  "CMakeFiles/fig02_slicing_overhead.dir/fig02_slicing_overhead.cc.o.d"
+  "fig02_slicing_overhead"
+  "fig02_slicing_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_slicing_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

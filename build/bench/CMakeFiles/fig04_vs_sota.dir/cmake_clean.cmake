@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_vs_sota.dir/fig04_vs_sota.cc.o"
+  "CMakeFiles/fig04_vs_sota.dir/fig04_vs_sota.cc.o.d"
+  "fig04_vs_sota"
+  "fig04_vs_sota.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_vs_sota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig05_coalescing.cc" "bench/CMakeFiles/fig05_coalescing.dir/fig05_coalescing.cc.o" "gcc" "bench/CMakeFiles/fig05_coalescing.dir/fig05_coalescing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nova_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nova_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/nova_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/nova_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/nova_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/nova_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/nova_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nova_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_coalescing.dir/fig05_coalescing.cc.o"
+  "CMakeFiles/fig05_coalescing.dir/fig05_coalescing.cc.o.d"
+  "fig05_coalescing"
+  "fig05_coalescing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_strong_scaling.dir/fig07_strong_scaling.cc.o"
+  "CMakeFiles/fig07_strong_scaling.dir/fig07_strong_scaling.cc.o.d"
+  "fig07_strong_scaling"
+  "fig07_strong_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_strong_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

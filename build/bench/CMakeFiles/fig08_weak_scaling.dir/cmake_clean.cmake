@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_weak_scaling.dir/fig08_weak_scaling.cc.o"
+  "CMakeFiles/fig08_weak_scaling.dir/fig08_weak_scaling.cc.o.d"
+  "fig08_weak_scaling"
+  "fig08_weak_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_weak_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09a_cache_sensitivity.dir/fig09a_cache_sensitivity.cc.o"
+  "CMakeFiles/fig09a_cache_sensitivity.dir/fig09a_cache_sensitivity.cc.o.d"
+  "fig09a_cache_sensitivity"
+  "fig09a_cache_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09a_cache_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09b_mapping_sensitivity.dir/fig09b_mapping_sensitivity.cc.o"
+  "CMakeFiles/fig09b_mapping_sensitivity.dir/fig09b_mapping_sensitivity.cc.o.d"
+  "fig09b_mapping_sensitivity"
+  "fig09b_mapping_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09b_mapping_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

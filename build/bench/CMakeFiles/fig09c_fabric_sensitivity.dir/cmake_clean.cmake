@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09c_fabric_sensitivity.dir/fig09c_fabric_sensitivity.cc.o"
+  "CMakeFiles/fig09c_fabric_sensitivity.dir/fig09c_fabric_sensitivity.cc.o.d"
+  "fig09c_fabric_sensitivity"
+  "fig09c_fabric_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09c_fabric_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/projection_wdc12.dir/projection_wdc12.cc.o"
+  "CMakeFiles/projection_wdc12.dir/projection_wdc12.cc.o.d"
+  "projection_wdc12"
+  "projection_wdc12.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/projection_wdc12.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_system_spec.dir/table2_system_spec.cc.o"
+  "CMakeFiles/table2_system_spec.dir/table2_system_spec.cc.o.d"
+  "table2_system_spec"
+  "table2_system_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_system_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_graphs.dir/table3_graphs.cc.o"
+  "CMakeFiles/table3_graphs.dir/table3_graphs.cc.o.d"
+  "table3_graphs"
+  "table3_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

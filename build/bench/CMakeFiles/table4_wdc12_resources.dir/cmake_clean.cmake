@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_wdc12_resources.dir/table4_wdc12_resources.cc.o"
+  "CMakeFiles/table4_wdc12_resources.dir/table4_wdc12_resources.cc.o.d"
+  "table4_wdc12_resources"
+  "table4_wdc12_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_wdc12_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_fpga_estimate.dir/table5_fpga_estimate.cc.o"
+  "CMakeFiles/table5_fpga_estimate.dir/table5_fpga_estimate.cc.o.d"
+  "table5_fpga_estimate"
+  "table5_fpga_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_fpga_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

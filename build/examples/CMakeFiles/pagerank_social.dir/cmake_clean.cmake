@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_social.dir/pagerank_social.cpp.o"
+  "CMakeFiles/pagerank_social.dir/pagerank_social.cpp.o.d"
+  "pagerank_social"
+  "pagerank_social.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_social.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

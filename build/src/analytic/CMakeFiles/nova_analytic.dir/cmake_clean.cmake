@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_analytic.dir/fpga.cc.o"
+  "CMakeFiles/nova_analytic.dir/fpga.cc.o.d"
+  "CMakeFiles/nova_analytic.dir/scaling.cc.o"
+  "CMakeFiles/nova_analytic.dir/scaling.cc.o.d"
+  "libnova_analytic.a"
+  "libnova_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_baselines.dir/ligra.cc.o"
+  "CMakeFiles/nova_baselines.dir/ligra.cc.o.d"
+  "CMakeFiles/nova_baselines.dir/polygraph.cc.o"
+  "CMakeFiles/nova_baselines.dir/polygraph.cc.o.d"
+  "libnova_baselines.a"
+  "libnova_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/nova_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/nova_core.dir/config.cc.o.d"
+  "/root/repo/src/core/mgu.cc" "src/core/CMakeFiles/nova_core.dir/mgu.cc.o" "gcc" "src/core/CMakeFiles/nova_core.dir/mgu.cc.o.d"
+  "/root/repo/src/core/mpu.cc" "src/core/CMakeFiles/nova_core.dir/mpu.cc.o" "gcc" "src/core/CMakeFiles/nova_core.dir/mpu.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/nova_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/nova_core.dir/system.cc.o.d"
+  "/root/repo/src/core/vertex_store.cc" "src/core/CMakeFiles/nova_core.dir/vertex_store.cc.o" "gcc" "src/core/CMakeFiles/nova_core.dir/vertex_store.cc.o.d"
+  "/root/repo/src/core/vmu.cc" "src/core/CMakeFiles/nova_core.dir/vmu.cc.o" "gcc" "src/core/CMakeFiles/nova_core.dir/vmu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nova_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/nova_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nova_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/nova_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/nova_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

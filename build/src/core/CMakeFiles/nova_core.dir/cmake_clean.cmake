@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_core.dir/config.cc.o"
+  "CMakeFiles/nova_core.dir/config.cc.o.d"
+  "CMakeFiles/nova_core.dir/mgu.cc.o"
+  "CMakeFiles/nova_core.dir/mgu.cc.o.d"
+  "CMakeFiles/nova_core.dir/mpu.cc.o"
+  "CMakeFiles/nova_core.dir/mpu.cc.o.d"
+  "CMakeFiles/nova_core.dir/system.cc.o"
+  "CMakeFiles/nova_core.dir/system.cc.o.d"
+  "CMakeFiles/nova_core.dir/vertex_store.cc.o"
+  "CMakeFiles/nova_core.dir/vertex_store.cc.o.d"
+  "CMakeFiles/nova_core.dir/vmu.cc.o"
+  "CMakeFiles/nova_core.dir/vmu.cc.o.d"
+  "libnova_core.a"
+  "libnova_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

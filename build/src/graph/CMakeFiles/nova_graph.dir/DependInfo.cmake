@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr.cc" "src/graph/CMakeFiles/nova_graph.dir/csr.cc.o" "gcc" "src/graph/CMakeFiles/nova_graph.dir/csr.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/graph/CMakeFiles/nova_graph.dir/generators.cc.o" "gcc" "src/graph/CMakeFiles/nova_graph.dir/generators.cc.o.d"
+  "/root/repo/src/graph/graph_stats.cc" "src/graph/CMakeFiles/nova_graph.dir/graph_stats.cc.o" "gcc" "src/graph/CMakeFiles/nova_graph.dir/graph_stats.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/graph/CMakeFiles/nova_graph.dir/io.cc.o" "gcc" "src/graph/CMakeFiles/nova_graph.dir/io.cc.o.d"
+  "/root/repo/src/graph/partition.cc" "src/graph/CMakeFiles/nova_graph.dir/partition.cc.o" "gcc" "src/graph/CMakeFiles/nova_graph.dir/partition.cc.o.d"
+  "/root/repo/src/graph/presets.cc" "src/graph/CMakeFiles/nova_graph.dir/presets.cc.o" "gcc" "src/graph/CMakeFiles/nova_graph.dir/presets.cc.o.d"
+  "/root/repo/src/graph/reorder.cc" "src/graph/CMakeFiles/nova_graph.dir/reorder.cc.o" "gcc" "src/graph/CMakeFiles/nova_graph.dir/reorder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nova_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

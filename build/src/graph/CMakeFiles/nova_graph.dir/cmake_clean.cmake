@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_graph.dir/csr.cc.o"
+  "CMakeFiles/nova_graph.dir/csr.cc.o.d"
+  "CMakeFiles/nova_graph.dir/generators.cc.o"
+  "CMakeFiles/nova_graph.dir/generators.cc.o.d"
+  "CMakeFiles/nova_graph.dir/graph_stats.cc.o"
+  "CMakeFiles/nova_graph.dir/graph_stats.cc.o.d"
+  "CMakeFiles/nova_graph.dir/io.cc.o"
+  "CMakeFiles/nova_graph.dir/io.cc.o.d"
+  "CMakeFiles/nova_graph.dir/partition.cc.o"
+  "CMakeFiles/nova_graph.dir/partition.cc.o.d"
+  "CMakeFiles/nova_graph.dir/presets.cc.o"
+  "CMakeFiles/nova_graph.dir/presets.cc.o.d"
+  "CMakeFiles/nova_graph.dir/reorder.cc.o"
+  "CMakeFiles/nova_graph.dir/reorder.cc.o.d"
+  "libnova_graph.a"
+  "libnova_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_mem.dir/cache.cc.o"
+  "CMakeFiles/nova_mem.dir/cache.cc.o.d"
+  "CMakeFiles/nova_mem.dir/dram.cc.o"
+  "CMakeFiles/nova_mem.dir/dram.cc.o.d"
+  "libnova_mem.a"
+  "libnova_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

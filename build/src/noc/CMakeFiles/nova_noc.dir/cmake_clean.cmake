@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_noc.dir/network.cc.o"
+  "CMakeFiles/nova_noc.dir/network.cc.o.d"
+  "libnova_noc.a"
+  "libnova_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_sim.dir/event_queue.cc.o"
+  "CMakeFiles/nova_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/nova_sim.dir/random.cc.o"
+  "CMakeFiles/nova_sim.dir/random.cc.o.d"
+  "CMakeFiles/nova_sim.dir/stats.cc.o"
+  "CMakeFiles/nova_sim.dir/stats.cc.o.d"
+  "libnova_sim.a"
+  "libnova_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

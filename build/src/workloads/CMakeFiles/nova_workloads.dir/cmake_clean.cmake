@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_workloads.dir/bc.cc.o"
+  "CMakeFiles/nova_workloads.dir/bc.cc.o.d"
+  "CMakeFiles/nova_workloads.dir/reference.cc.o"
+  "CMakeFiles/nova_workloads.dir/reference.cc.o.d"
+  "libnova_workloads.a"
+  "libnova_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

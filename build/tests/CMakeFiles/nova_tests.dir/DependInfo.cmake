@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analytic.cc" "tests/CMakeFiles/nova_tests.dir/test_analytic.cc.o" "gcc" "tests/CMakeFiles/nova_tests.dir/test_analytic.cc.o.d"
+  "/root/repo/tests/test_baselines.cc" "tests/CMakeFiles/nova_tests.dir/test_baselines.cc.o" "gcc" "tests/CMakeFiles/nova_tests.dir/test_baselines.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/nova_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/nova_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/nova_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/nova_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_graph.cc" "tests/CMakeFiles/nova_tests.dir/test_graph.cc.o" "gcc" "tests/CMakeFiles/nova_tests.dir/test_graph.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/nova_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/nova_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/nova_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/nova_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_noc.cc" "tests/CMakeFiles/nova_tests.dir/test_noc.cc.o" "gcc" "tests/CMakeFiles/nova_tests.dir/test_noc.cc.o.d"
+  "/root/repo/tests/test_nova_smoke.cc" "tests/CMakeFiles/nova_tests.dir/test_nova_smoke.cc.o" "gcc" "tests/CMakeFiles/nova_tests.dir/test_nova_smoke.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/nova_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/nova_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_units.cc" "tests/CMakeFiles/nova_tests.dir/test_units.cc.o" "gcc" "tests/CMakeFiles/nova_tests.dir/test_units.cc.o.d"
+  "/root/repo/tests/test_vmu.cc" "tests/CMakeFiles/nova_tests.dir/test_vmu.cc.o" "gcc" "tests/CMakeFiles/nova_tests.dir/test_vmu.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/nova_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/nova_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nova_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nova_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/nova_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/nova_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/nova_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/nova_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/nova_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nova_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

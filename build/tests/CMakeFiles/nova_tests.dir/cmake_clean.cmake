@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nova_tests.dir/test_analytic.cc.o"
+  "CMakeFiles/nova_tests.dir/test_analytic.cc.o.d"
+  "CMakeFiles/nova_tests.dir/test_baselines.cc.o"
+  "CMakeFiles/nova_tests.dir/test_baselines.cc.o.d"
+  "CMakeFiles/nova_tests.dir/test_core.cc.o"
+  "CMakeFiles/nova_tests.dir/test_core.cc.o.d"
+  "CMakeFiles/nova_tests.dir/test_extensions.cc.o"
+  "CMakeFiles/nova_tests.dir/test_extensions.cc.o.d"
+  "CMakeFiles/nova_tests.dir/test_graph.cc.o"
+  "CMakeFiles/nova_tests.dir/test_graph.cc.o.d"
+  "CMakeFiles/nova_tests.dir/test_integration.cc.o"
+  "CMakeFiles/nova_tests.dir/test_integration.cc.o.d"
+  "CMakeFiles/nova_tests.dir/test_mem.cc.o"
+  "CMakeFiles/nova_tests.dir/test_mem.cc.o.d"
+  "CMakeFiles/nova_tests.dir/test_noc.cc.o"
+  "CMakeFiles/nova_tests.dir/test_noc.cc.o.d"
+  "CMakeFiles/nova_tests.dir/test_nova_smoke.cc.o"
+  "CMakeFiles/nova_tests.dir/test_nova_smoke.cc.o.d"
+  "CMakeFiles/nova_tests.dir/test_sim.cc.o"
+  "CMakeFiles/nova_tests.dir/test_sim.cc.o.d"
+  "CMakeFiles/nova_tests.dir/test_units.cc.o"
+  "CMakeFiles/nova_tests.dir/test_units.cc.o.d"
+  "CMakeFiles/nova_tests.dir/test_vmu.cc.o"
+  "CMakeFiles/nova_tests.dir/test_vmu.cc.o.d"
+  "CMakeFiles/nova_tests.dir/test_workloads.cc.o"
+  "CMakeFiles/nova_tests.dir/test_workloads.cc.o.d"
+  "nova_tests"
+  "nova_tests.pdb"
+  "nova_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nova_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
