@@ -272,6 +272,11 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
             ? net->totalLatency.value() /
                   (net->messagesSent.value() + net->selfMessages.value())
             : 0;
+    extra["sim.events"] = static_cast<double>(eq.executed());
+    // Low 52 bits only: the fingerprint must round-trip through the
+    // double-valued stats map without losing information.
+    extra["sim.fingerprint"] = static_cast<double>(
+        eq.fingerprint() & ((std::uint64_t(1) << 52) - 1));
     return result;
 }
 

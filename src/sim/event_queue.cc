@@ -14,6 +14,12 @@ EventQueue::runOne()
     NOVA_ASSERT(item.when >= curTick, "event queue went backwards");
     curTick = item.when;
     ++numExecuted;
+    constexpr std::uint64_t prime = 0x100000001b3ULL; // FNV-1a
+    fp = (fp ^ item.when) * prime;
+    fp = (fp ^ static_cast<std::uint64_t>(
+                   static_cast<std::int64_t>(item.priority))) *
+         prime;
+    fp = (fp ^ item.seq) * prime;
     item.fn();
     return true;
 }

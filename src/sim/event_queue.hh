@@ -51,6 +51,15 @@ class EventQueue
     std::uint64_t executed() const { return numExecuted; }
 
     /**
+     * Order-sensitive hash over every executed event's (tick, priority,
+     * sequence number). Two runs of the same model with the same seeds
+     * must end with identical fingerprints; a difference pinpoints the
+     * first schedule divergence when bisecting non-determinism (the
+     * record side of the verify replay workflow).
+     */
+    std::uint64_t fingerprint() const { return fp; }
+
+    /**
      * Schedule a closure to run at an absolute tick.
      * @pre when >= now().
      */
@@ -110,6 +119,7 @@ class EventQueue
     Tick curTick = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t numExecuted = 0;
+    std::uint64_t fp = 0xcbf29ce484222325ULL; // FNV-1a offset basis
 };
 
 /**

@@ -1,0 +1,297 @@
+#include "verify/fuzz.hh"
+
+#include <algorithm>
+#include <iterator>
+
+#include "graph/generators.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace nova::verify
+{
+
+using graph::Csr;
+using graph::Edge;
+using graph::EdgeId;
+using graph::EdgeList;
+using graph::VertexId;
+using graph::Weight;
+using sim::Rng;
+
+const char *
+familyName(GraphFamily f)
+{
+    switch (f) {
+      case GraphFamily::Rmat:
+        return "rmat";
+      case GraphFamily::Uniform:
+        return "uniform";
+      case GraphFamily::RoadGrid:
+        return "roadgrid";
+      case GraphFamily::Path:
+        return "path";
+      case GraphFamily::Star:
+        return "star";
+      case GraphFamily::Cycle:
+        return "cycle";
+      case GraphFamily::Complete:
+        return "complete";
+      case GraphFamily::NoEdges:
+        return "noedges";
+      case GraphFamily::SingleVertex:
+        return "singlevertex";
+      case GraphFamily::SelfLoops:
+        return "selfloops";
+      case GraphFamily::Disconnected:
+        return "disconnected";
+      case GraphFamily::ZeroWeight:
+        return "zeroweight";
+      case GraphFamily::MaxWeight:
+        return "maxweight";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/**
+ * Case-local generator: scramble the index splitmix-style so nearby
+ * iterations of one stream are decorrelated, then fold in the seed.
+ */
+Rng
+caseRng(std::uint64_t seed, std::uint64_t index)
+{
+    std::uint64_t x = index + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return Rng(seed ^ (x ^ (x >> 31)));
+}
+
+/** Sample an edge count that keeps tiny graphs sparse-ish. */
+EdgeId
+sampleEdges(Rng &rng, VertexId v, EdgeId max_edges)
+{
+    const EdgeId cap = std::min<EdgeId>(
+        max_edges, static_cast<EdgeId>(v) * std::min<VertexId>(v, 16));
+    return cap == 0 ? 0 : rng.nextRange(1, cap);
+}
+
+/** Random weighted edge inside [lo, lo + n). */
+Edge
+randomEdgeIn(Rng &rng, VertexId lo, VertexId n, Weight max_weight)
+{
+    const auto u = lo + static_cast<VertexId>(rng.nextBounded(n));
+    const auto v = lo + static_cast<VertexId>(rng.nextBounded(n));
+    const Weight w =
+        max_weight <= 1 ? 1
+                        : static_cast<Weight>(rng.nextRange(1, max_weight));
+    return {u, v, w};
+}
+
+void
+makeUniformBlob(Rng &rng, VertexId lo, VertexId n, EdgeId e,
+                Weight max_weight, EdgeList &list)
+{
+    for (EdgeId i = 0; i < e; ++i) {
+        Edge edge = randomEdgeIn(rng, lo, n, max_weight);
+        if (edge.src == edge.dst)
+            continue; // slight undershoot is fine
+        list.edges.push_back(edge);
+    }
+}
+
+} // namespace
+
+FuzzedGraph
+fuzzCase(std::uint64_t seed, std::uint64_t index, const FuzzerConfig &cfg)
+{
+    NOVA_ASSERT(cfg.maxVertices >= 8, "fuzzer needs maxVertices >= 8");
+    NOVA_ASSERT(cfg.maxEdges >= 16, "fuzzer needs maxEdges >= 16");
+    Rng rng = caseRng(seed, index);
+
+    // Draw the family: degenerate shapes with the configured
+    // probability, the generator/regular families otherwise.
+    GraphFamily family;
+    if (rng.nextBool(cfg.degenerateProbability)) {
+        constexpr GraphFamily degenerate[] = {
+            GraphFamily::NoEdges,      GraphFamily::SingleVertex,
+            GraphFamily::SelfLoops,    GraphFamily::Disconnected,
+            GraphFamily::ZeroWeight,   GraphFamily::MaxWeight,
+        };
+        family = degenerate[rng.nextBounded(std::size(degenerate))];
+    } else {
+        constexpr GraphFamily regular[] = {
+            GraphFamily::Rmat, GraphFamily::Uniform,
+            GraphFamily::RoadGrid, GraphFamily::Path,
+            GraphFamily::Star, GraphFamily::Cycle,
+            GraphFamily::Complete,
+        };
+        family = regular[rng.nextBounded(std::size(regular))];
+    }
+
+    // Half of all cases are weighted with a small range (conflict-heavy
+    // SSSP), the rest unweighted (weight 1 everywhere).
+    const Weight wmax =
+        rng.nextBool(0.5) ? static_cast<Weight>(rng.nextRange(2, 255)) : 1;
+    const std::uint64_t sub_seed = rng.next();
+
+    FuzzedGraph out;
+    out.family = family;
+    Csr g;
+
+    switch (family) {
+      case GraphFamily::Rmat: {
+        graph::RmatParams p;
+        p.numVertices =
+            static_cast<VertexId>(rng.nextRange(2, cfg.maxVertices));
+        p.numEdges = sampleEdges(rng, p.numVertices, cfg.maxEdges);
+        p.maxWeight = wmax;
+        p.seed = sub_seed;
+        // Jitter the quadrant skew around the Graph500 defaults.
+        p.a = 0.45 + 0.2 * rng.nextDouble();
+        p.b = p.c = (1.0 - p.a) / 2.0 - 0.05;
+        g = graph::generateRmat(p);
+        break;
+      }
+      case GraphFamily::Uniform: {
+        graph::UniformParams p;
+        p.numVertices =
+            static_cast<VertexId>(rng.nextRange(2, cfg.maxVertices));
+        p.numEdges = sampleEdges(rng, p.numVertices, cfg.maxEdges);
+        p.maxWeight = wmax;
+        p.seed = sub_seed;
+        g = graph::generateUniform(p);
+        break;
+      }
+      case GraphFamily::RoadGrid: {
+        graph::RoadGridParams p;
+        const auto side = static_cast<VertexId>(std::max<std::uint64_t>(
+            2, rng.nextRange(2, std::min<VertexId>(16, cfg.maxVertices / 4))));
+        p.width = side;
+        p.height =
+            static_cast<VertexId>(rng.nextRange(2, cfg.maxVertices / side));
+        p.dropFraction = 0.3 * rng.nextDouble();
+        p.highwayFraction = 0.02 * rng.nextDouble();
+        p.maxWeight = wmax;
+        p.seed = sub_seed;
+        g = graph::generateRoadGrid(p);
+        break;
+      }
+      case GraphFamily::Path:
+        g = graph::generatePath(
+            static_cast<VertexId>(rng.nextRange(2, cfg.maxVertices)), 1);
+        if (wmax > 1)
+            g = graph::withRandomWeights(g, wmax, sub_seed);
+        break;
+      case GraphFamily::Star:
+        g = graph::generateStar(
+            static_cast<VertexId>(rng.nextRange(2, cfg.maxVertices)));
+        if (wmax > 1)
+            g = graph::withRandomWeights(g, wmax, sub_seed);
+        break;
+      case GraphFamily::Cycle:
+        g = graph::generateCycle(
+            static_cast<VertexId>(rng.nextRange(2, cfg.maxVertices)));
+        if (wmax > 1)
+            g = graph::withRandomWeights(g, wmax, sub_seed);
+        break;
+      case GraphFamily::Complete:
+        g = graph::generateComplete(
+            static_cast<VertexId>(rng.nextRange(2, 24)));
+        if (wmax > 1)
+            g = graph::withRandomWeights(g, wmax, sub_seed);
+        break;
+      case GraphFamily::NoEdges: {
+        EdgeList list;
+        list.numVertices = static_cast<VertexId>(rng.nextRange(1, 8));
+        g = graph::buildCsr(list);
+        break;
+      }
+      case GraphFamily::SingleVertex: {
+        EdgeList list;
+        list.numVertices = 1;
+        if (rng.nextBool(0.5))
+            list.edges.push_back({0, 0, wmax});
+        g = graph::buildCsr(list);
+        break;
+      }
+      case GraphFamily::SelfLoops: {
+        EdgeList list;
+        list.numVertices =
+            static_cast<VertexId>(rng.nextRange(2, cfg.maxVertices / 2));
+        const EdgeId e =
+            sampleEdges(rng, list.numVertices, cfg.maxEdges / 2);
+        makeUniformBlob(rng, 0, list.numVertices, e, wmax, list);
+        // Every vertex gets a self loop with p=0.3; force at least one.
+        for (VertexId v = 0; v < list.numVertices; ++v)
+            if (rng.nextBool(0.3))
+                list.edges.push_back({v, v, wmax});
+        list.edges.push_back({0, 0, wmax});
+        g = graph::buildCsr(list);
+        break;
+      }
+      case GraphFamily::Disconnected: {
+        // Two islands plus trailing isolated vertices; no cross edges.
+        EdgeList list;
+        const auto n1 =
+            static_cast<VertexId>(rng.nextRange(2, cfg.maxVertices / 4));
+        const auto n2 =
+            static_cast<VertexId>(rng.nextRange(2, cfg.maxVertices / 4));
+        const auto isolated = static_cast<VertexId>(rng.nextRange(0, 6));
+        list.numVertices = n1 + n2 + isolated;
+        makeUniformBlob(rng, 0, n1, sampleEdges(rng, n1, cfg.maxEdges / 2),
+                        wmax, list);
+        makeUniformBlob(rng, n1, n2,
+                        sampleEdges(rng, n2, cfg.maxEdges / 2), wmax, list);
+        g = graph::buildCsr(list);
+        break;
+      }
+      case GraphFamily::ZeroWeight: {
+        graph::UniformParams p;
+        p.numVertices =
+            static_cast<VertexId>(rng.nextRange(2, cfg.maxVertices / 2));
+        p.numEdges = sampleEdges(rng, p.numVertices, cfg.maxEdges / 2);
+        p.maxWeight = std::max<Weight>(wmax, 2);
+        p.seed = sub_seed;
+        const Csr base = graph::generateUniform(p);
+        // Zero out a third of the weights: zero-weight edges stress
+        // the "update equals state" activation edge case.
+        std::vector<Weight> w = base.weights();
+        for (auto &weight : w)
+            if (rng.nextBool(1.0 / 3.0))
+                weight = 0;
+        g = Csr(base.rowPtr(), base.dests(), std::move(w));
+        break;
+      }
+      case GraphFamily::MaxWeight: {
+        graph::UniformParams p;
+        p.numVertices =
+            static_cast<VertexId>(rng.nextRange(2, cfg.maxVertices / 2));
+        p.numEdges = sampleEdges(rng, p.numVertices, cfg.maxEdges / 2);
+        p.maxWeight = 2;
+        p.seed = sub_seed;
+        const Csr base = graph::generateUniform(p);
+        // Saturate every weight: exercises 64-bit distance headroom.
+        std::vector<Weight> w(base.numEdges(),
+                              ~static_cast<Weight>(0));
+        g = Csr(base.rowPtr(), base.dests(), std::move(w));
+        break;
+      }
+    }
+
+    out.source = g.numVertices() <= 1
+                     ? 0
+                     : static_cast<VertexId>(
+                           rng.nextBounded(g.numVertices()));
+    out.description =
+        std::string(familyName(family)) +
+        " V=" + std::to_string(g.numVertices()) +
+        " E=" + std::to_string(g.numEdges()) +
+        " wmax=" + std::to_string(wmax) +
+        " src=" + std::to_string(out.source);
+    out.graph = std::move(g);
+    return out;
+}
+
+} // namespace nova::verify

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The graph fuzzer behind the differential verification harness.
+ *
+ * Each fuzz case is a pure function of (seed, index): the fuzzer draws
+ * a structural family — the paper's generator families (RMAT, uniform
+ * random, road grid) plus deliberately degenerate shapes (no edges,
+ * single vertex, self loops, disconnected components, zero- and
+ * max-weight edges) — then samples its parameters and a traversal
+ * source from a case-local Rng. Random access by index means a failing
+ * iteration replays without regenerating its predecessors; see
+ * docs/VERIFICATION.md.
+ */
+
+#ifndef NOVA_VERIFY_FUZZ_HH
+#define NOVA_VERIFY_FUZZ_HH
+
+#include <cstdint>
+#include <string>
+
+#include "graph/csr.hh"
+
+namespace nova::verify
+{
+
+/** The structural family a fuzzed graph is drawn from. */
+enum class GraphFamily : std::uint32_t
+{
+    /** @{ @name Generator-backed families (paper inputs, Sec. V) */
+    Rmat,
+    Uniform,
+    RoadGrid,
+    /** @} */
+    /** @{ @name Regular shapes */
+    Path,
+    Star,
+    Cycle,
+    Complete,
+    /** @} */
+    /** @{ @name Degenerate / adversarial shapes */
+    NoEdges,
+    SingleVertex,
+    SelfLoops,
+    Disconnected,
+    ZeroWeight,
+    MaxWeight,
+    /** @} */
+};
+
+/** Number of GraphFamily values (for sampling and iteration). */
+constexpr std::uint32_t numGraphFamilies = 13;
+
+/** Short stable name ("rmat", "noedges", ...). */
+const char *familyName(GraphFamily f);
+
+/** Bounds on the sampled graphs. */
+struct FuzzerConfig
+{
+    /** Upper bound (inclusive) on vertices of a sampled graph. */
+    graph::VertexId maxVertices = 256;
+    /** Upper bound (inclusive) on edges of a sampled graph. */
+    graph::EdgeId maxEdges = 2048;
+    /** Probability of drawing a degenerate family over a generator. */
+    double degenerateProbability = 0.4;
+};
+
+/** One fuzzed differential-test input. */
+struct FuzzedGraph
+{
+    GraphFamily family = GraphFamily::Rmat;
+    /** Human-readable parameters ("rmat V=64 E=512 wmax=31 src=3"). */
+    std::string description;
+    /** The sampled graph (directed; CC symmetrizes it itself). */
+    graph::Csr graph;
+    /** Sampled traversal source, < numVertices (0 when V == 1). */
+    graph::VertexId source = 0;
+};
+
+/**
+ * Generate the `index`-th fuzz case of stream `seed`. Deterministic and
+ * randomly accessible: equal (seed, index, cfg) always produce the
+ * identical graph, bit for bit.
+ */
+FuzzedGraph fuzzCase(std::uint64_t seed, std::uint64_t index,
+                     const FuzzerConfig &cfg = {});
+
+} // namespace nova::verify
+
+#endif // NOVA_VERIFY_FUZZ_HH

@@ -276,6 +276,100 @@ TEST(Cache, MshrExhaustionRejectsAndWakes)
     EXPECT_EQ(done, 2);
 }
 
+TEST(Cache, MshrCoalescesSameLineEvenWhenExhausted)
+{
+    // With every MSHR in use, a miss to an already-outstanding line
+    // must still be accepted (it merges into the existing MSHR) while
+    // a miss to a new line is rejected.
+    EventQueue eq;
+    MemorySystem mem("mem", eq, fastTiming(), 1);
+    CacheConfig cfg;
+    cfg.sizeBytes = 1 << 16;
+    cfg.numMshrs = 2;
+    DirectMappedCache cache("c", eq, cfg, mem);
+    int done = 0;
+    ASSERT_TRUE(cache.access(0, false, [&] { ++done; }));
+    ASSERT_TRUE(cache.access(32, false, [&] { ++done; }));
+    // Same line as the first outstanding miss: coalesces, no new MSHR.
+    ASSERT_TRUE(cache.access(4, true, [&] { ++done; }));
+    // Genuinely new line: no MSHR left.
+    EXPECT_FALSE(cache.access(96, false, [&] { ++done; }));
+    EXPECT_EQ(cache.mshrRejects.value(), 1.0);
+    eq.run();
+    EXPECT_EQ(done, 3);
+    EXPECT_EQ(cache.misses.value(), 3.0);
+    // The coalesced target must not trigger a second fill of line 0.
+    EXPECT_EQ(mem.channel(0).numAccesses.value(), 2.0);
+    // The merged write target must leave the line dirty.
+    ASSERT_TRUE(cache.access(cfg.sizeBytes, false, [] {})); // conflict
+    eq.run();
+    EXPECT_EQ(cache.writebacks.value(), 1.0);
+}
+
+TEST(Cache, EvictionDeferredUntilFillReturns)
+{
+    // A conflict miss must not invalidate the victim while the fill is
+    // still in flight: accesses to the victim line keep hitting until
+    // the new data actually arrives, and the dirty victim is written
+    // back exactly once at that point.
+    EventQueue eq;
+    MemorySystem mem("mem", eq, fastTiming(), 1);
+    CacheConfig cfg;
+    cfg.sizeBytes = 64; // 2 lines
+    cfg.lineBytes = 32;
+    DirectMappedCache cache("c", eq, cfg, mem);
+
+    ASSERT_TRUE(cache.access(0, true, [] {}));
+    eq.run();
+    ASSERT_TRUE(cache.contains(0));
+
+    const Tick base = eq.now();
+    Tick conflict_done_at = 0;
+    Tick victim_hit_at = 0;
+    ASSERT_TRUE(cache.access(64, false,
+                             [&] { conflict_done_at = eq.now(); }));
+    // While the 64-fill is outstanding, the dirty victim still hits.
+    ASSERT_TRUE(cache.access(0, false, [&] { victim_hit_at = eq.now(); }));
+    eq.run();
+    EXPECT_EQ(victim_hit_at - base, cfg.hitLatency);
+    EXPECT_GT(conflict_done_at, victim_hit_at);
+    EXPECT_EQ(cache.hits.value(), 1.0);
+    EXPECT_FALSE(cache.contains(0));
+    EXPECT_TRUE(cache.contains(64));
+    EXPECT_EQ(cache.evictions.value(), 1.0);
+    EXPECT_EQ(cache.writebacks.value(), 1.0);
+}
+
+TEST(Cache, WritebacksRetryUnderMemoryBackpressure)
+{
+    // Evict two dirty lines while the DRAM queue is nearly full: the
+    // posted write-backs must retry via waitForSpace rather than being
+    // dropped, so every byte eventually reaches memory.
+    EventQueue eq;
+    DramTiming t = fastTiming();
+    t.queueCapacity = 2;
+    MemorySystem mem("mem", eq, t, 1);
+    CacheConfig cfg;
+    cfg.sizeBytes = 64; // 2 lines
+    cfg.lineBytes = 32;
+    cfg.numMshrs = 4;
+    DirectMappedCache cache("c", eq, cfg, mem);
+
+    ASSERT_TRUE(cache.access(0, true, [] {}));
+    ASSERT_TRUE(cache.access(32, true, [] {}));
+    eq.run();
+    // Conflict both indices at once; fills + write-backs now compete
+    // for the two DRAM queue slots.
+    int done = 0;
+    ASSERT_TRUE(cache.access(64, false, [&] { ++done; }));
+    ASSERT_TRUE(cache.access(96, false, [&] { ++done; }));
+    eq.run();
+    EXPECT_EQ(done, 2);
+    EXPECT_EQ(cache.evictions.value(), 2.0);
+    EXPECT_EQ(cache.writebacks.value(), 2.0);
+    EXPECT_EQ(mem.channel(0).bytesWritten.value(), 2.0 * cfg.lineBytes);
+}
+
 TEST(Cache, FlushAllDirtyInvokesHook)
 {
     EventQueue eq;

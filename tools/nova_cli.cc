@@ -23,13 +23,32 @@
  *   --seed=<n>       mapping/graph seed                [1]
  *   --no-validate    skip the reference check
  *   --stats          dump all engine statistics
+ *
+ * Differential fuzzing subcommand (see docs/VERIFICATION.md):
+ *
+ *   nova_cli verify --fuzz=200 --seed=1
+ *   nova_cli verify --fuzz=25 --seed=7 --algos=sssp --engines=nova
+ *   nova_cli verify --replay=NV1.s1.i12.sssp.nova.v256.e2048
+ *
+ *   --fuzz=<N>       differential iterations           [100]
+ *   --seed=<S>       fuzz stream seed                  [1]
+ *   --algos=a,b      subset of bfs,sssp,cc,pr          [all]
+ *   --engines=a,b    subset of nova,polygraph,ligra    [all]
+ *   --max-v=<N>      fuzzer vertex bound               [256]
+ *   --max-e=<N>      fuzzer edge bound                 [2048]
+ *   --inject-fault=<AFTER>[:<MASK-hex>]  corrupt the AFTER-th reduce
+ *   --replay=<tok>   re-run one recorded failing case
+ *   --verbose        print every case as it runs
  */
 
+#include <charconv>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "baselines/ligra.hh"
 #include "baselines/polygraph.hh"
@@ -39,6 +58,8 @@
 #include "graph/io.hh"
 #include "graph/partition.hh"
 #include "graph/presets.hh"
+#include "verify/differential.hh"
+#include "verify/replay.hh"
 #include "workloads/bc.hh"
 #include "workloads/programs.hh"
 #include "workloads/reference.hh"
@@ -207,11 +228,157 @@ makeMapping(const CliOptions &o, const graph::Csr &g,
     sim::fatal("unknown mapping '", o.mapping, "'");
 }
 
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        const std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos) {
+            out.push_back(s.substr(pos));
+            break;
+        }
+        out.push_back(s.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+void
+printDivergences(const verify::CaseOutcome &outcome)
+{
+    std::printf("divergence in case #%llu (seed 0x%llx, %s)\n",
+                static_cast<unsigned long long>(outcome.index),
+                static_cast<unsigned long long>(outcome.seed),
+                outcome.graphDescription.c_str());
+    for (const auto &d : outcome.divergences) {
+        std::printf("  %s on %s: %s\n", verify::algoName(d.algo),
+                    verify::engineKindName(d.engine), d.detail.c_str());
+        std::printf("  repro: nova_cli verify --replay=%s\n",
+                    d.replayToken.c_str());
+    }
+}
+
+/** Parse a full numeric option value or die with a usage error. */
+std::uint64_t
+parseU64(const std::string &text, const char *what, int base = 10)
+{
+    std::uint64_t value = 0;
+    const char *first = text.c_str();
+    const char *last = first + text.size();
+    const auto [ptr, ec] = std::from_chars(first, last, value, base);
+    if (ec != std::errc() || ptr != last || text.empty())
+        sim::fatal("bad value '", text, "' for ", what);
+    return value;
+}
+
+int
+verifyMain(int argc, char **argv)
+{
+    std::uint64_t iterations = 100;
+    std::uint64_t seed = 1;
+    std::string replay_token;
+    bool verbose = false;
+    verify::DiffOptions opt;
+
+    std::string v;
+    for (int i = 2; i < argc; ++i) {
+        const char *a = argv[i];
+        if (takeValue(a, "--fuzz=", v))
+            iterations = parseU64(v, "--fuzz");
+        else if (takeValue(a, "--seed=", v))
+            seed = parseU64(v, "--seed");
+        else if (takeValue(a, "--max-v=", v))
+            opt.fuzzer.maxVertices =
+                static_cast<graph::VertexId>(parseU64(v, "--max-v"));
+        else if (takeValue(a, "--max-e=", v))
+            opt.fuzzer.maxEdges =
+                static_cast<graph::EdgeId>(parseU64(v, "--max-e"));
+        else if (takeValue(a, "--algos=", v)) {
+            opt.algos.clear();
+            for (const std::string &name : splitCommas(v)) {
+                verify::Algo algo;
+                if (!verify::algoFromName(name, algo))
+                    sim::fatal("unknown algorithm '", name, "'");
+                opt.algos.push_back(algo);
+            }
+        } else if (takeValue(a, "--engines=", v)) {
+            opt.engines.clear();
+            for (const std::string &name : splitCommas(v)) {
+                verify::EngineKind kind;
+                if (!verify::engineKindFromName(name, kind))
+                    sim::fatal("unknown engine '", name, "'");
+                opt.engines.push_back(kind);
+            }
+        } else if (takeValue(a, "--inject-fault=", v)) {
+            opt.fault.enabled = true;
+            opt.fault.xorMask = ~std::uint64_t(0);
+            const std::size_t colon = v.find(':');
+            opt.fault.afterReduces =
+                parseU64(v.substr(0, colon), "--inject-fault");
+            if (colon != std::string::npos)
+                opt.fault.xorMask = parseU64(
+                    v.substr(colon + 1), "--inject-fault mask", 16);
+        } else if (takeValue(a, "--replay=", v))
+            replay_token = v;
+        else if (std::strcmp(a, "--verbose") == 0)
+            verbose = true;
+        else
+            sim::fatal("unknown verify option '", a,
+                       "' (see the header of tools/nova_cli.cc)");
+    }
+    if (opt.fuzzer.maxVertices < 8 || opt.fuzzer.maxEdges < 16)
+        sim::fatal("fuzzer bounds too small: need --max-v >= 8 and "
+                   "--max-e >= 16");
+
+    if (!replay_token.empty()) {
+        verify::ReplayCase c;
+        if (!verify::parseReplayToken(replay_token, c))
+            sim::fatal("malformed replay token '", replay_token, "'");
+        std::printf("replay %s: case #%llu, %s on %s%s\n",
+                    replay_token.c_str(),
+                    static_cast<unsigned long long>(c.index),
+                    verify::algoName(c.algo),
+                    verify::engineKindName(c.engine),
+                    c.fault.enabled ? " (with injected fault)" : "");
+        const verify::CaseOutcome outcome = verify::replayCase(c);
+        std::printf("graph: %s\n", outcome.graphDescription.c_str());
+        if (outcome.ok()) {
+            std::printf("replay: no divergence\n");
+            return 0;
+        }
+        printDivergences(outcome);
+        return 1;
+    }
+
+    const verify::FuzzSummary summary = verify::runFuzz(
+        seed, iterations, opt, [&](const verify::CaseOutcome &outcome) {
+            if (verbose)
+                std::printf("case #%llu: %s: %s\n",
+                            static_cast<unsigned long long>(outcome.index),
+                            outcome.graphDescription.c_str(),
+                            outcome.ok() ? "ok" : "DIVERGED");
+            if (!outcome.ok())
+                printDivergences(outcome);
+        });
+
+    std::printf("verify: %llu cases, %llu engine runs, %zu diverging "
+                "cases [seed %llu]\n",
+                static_cast<unsigned long long>(summary.casesRun),
+                static_cast<unsigned long long>(summary.runsExecuted),
+                summary.failures.size(),
+                static_cast<unsigned long long>(seed));
+    return summary.ok() ? 0 : 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 try {
+    if (argc > 1 && std::strcmp(argv[1], "verify") == 0)
+        return verifyMain(argc, argv);
     const CliOptions o = parseArgs(argc, argv);
 
     graph::Csr g = makeGraph(o);
