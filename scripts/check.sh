@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+#
+# One-command correctness gate (docs/STATIC_ANALYSIS.md):
+#
+#   1. Debug + AddressSanitizer/UBSan build with -Werror; full ctest
+#      (unit tests, novalint tree scan, verify-smoke differential fuzz)
+#      — any sanitizer report is fatal (-fno-sanitize-recover).
+#   2. Release (RelWithDebInfo) build with -Werror; full ctest.
+#   3. clang-tidy over the changed-most sources when available
+#      (opt-in: CHECK_CLANG_TIDY=1).
+#
+# Usage: scripts/check.sh [jobs]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
+
+run_config() {
+    local dir="$1"; shift
+    echo "=== configure ${dir} ($*) ==="
+    cmake -B "${dir}" -S . -DNOVA_WERROR=ON "$@" >/dev/null
+    echo "=== build ${dir} ==="
+    cmake --build "${dir}" -j "${JOBS}"
+    echo "=== ctest ${dir} ==="
+    ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+}
+
+# 1. Sanitized debug gate: memory safety + UB + determinism under ASan.
+run_config build-san -DCMAKE_BUILD_TYPE=Debug \
+    -DNOVA_SANITIZE=address,undefined
+
+# 2. Optimized gate: the configuration benchmarks and users run.
+run_config build-rel -DCMAKE_BUILD_TYPE=RelWithDebInfo
+
+# 3. Optional clang-tidy pass (mirrors the novalint rules natively
+#    expressible in clang-tidy; see .clang-tidy).
+if [[ "${CHECK_CLANG_TIDY:-0}" == "1" ]] && command -v clang-tidy >/dev/null
+then
+    echo "=== clang-tidy ==="
+    cmake -B build-rel -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    git ls-files 'src/**/*.cc' 'tools/**/*.cc' |
+        xargs -P "${JOBS}" -n 1 clang-tidy -p build-rel --quiet
+fi
+
+echo "check.sh: all gates passed"

@@ -1,6 +1,5 @@
 #include "baselines/ligra.hh"
 
-#include <chrono>
 #include <map>
 #include <vector>
 
@@ -63,8 +62,6 @@ LigraEngine::run(VertexProgram &program, const Csr &g,
     RunResult result;
     std::uint64_t traversed = 0, reduced = 0, coalesced = 0;
     std::uint64_t supersteps = 0;
-
-    const auto t0 = std::chrono::steady_clock::now();
 
     if (program.mode() == ExecMode::Async) {
         // Frontier-synchronous execution of the monotone workloads;
@@ -153,12 +150,15 @@ LigraEngine::run(VertexProgram &program, const Csr &g,
         }
     }
 
-    const auto t1 = std::chrono::steady_clock::now();
-    const auto wall_ns =
-        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
-            .count();
-
-    result.ticks = static_cast<sim::Tick>(wall_ns) * 1000;
+    // Deterministic cost model instead of wall-clock time: the software
+    // baseline charges one nanosecond-equivalent per edge traversal plus
+    // a fixed per-superstep barrier cost, so verify/replay runs are
+    // bit-for-bit reproducible (wall-clock sources are banned by
+    // novalint's wall-clock rule).
+    constexpr sim::Tick edgeCost = sim::tickNs;
+    constexpr sim::Tick barrierCost = 100 * sim::tickNs;
+    result.ticks = sim::tickAdd(sim::tickMul(traversed, edgeCost),
+                                sim::tickMul(supersteps, barrierCost));
     result.props = std::move(cur);
     result.messagesProcessed = reduced;
     result.messagesGenerated = traversed;

@@ -96,7 +96,10 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
         }
     }
 
-    auto inject = [&](graph::VertexId v) {
+    // Explicit captures (novalint capture-default): inject is only ever
+    // called synchronously from this frame, never scheduled on the event
+    // queue, so reference captures of the run-scoped state are safe.
+    auto inject = [&pes, &map, &program](graph::VertexId v) {
         const std::uint32_t pe = map.partOf(v);
         const graph::VertexId local = map.localOf(v);
         pes[pe].vmu->activate(

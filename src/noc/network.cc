@@ -98,7 +98,7 @@ Network::popInbound(std::uint32_t pe)
 void
 Network::deliver(const Message &msg, Tick inject_tick)
 {
-    totalLatency += static_cast<double>(now() - inject_tick);
+    totalLatency += static_cast<double>(sim::tickSub(now(), inject_tick));
     auto &q = inbound[msg.dstPe];
     const bool was_empty = q.empty();
     q.push_back(msg);
@@ -146,8 +146,8 @@ Network::Stage::work()
     Pending p = q.front();
     q.pop_front();
 
-    const Tick done_ser = net.now() + serTicks;
-    net.eventQueue().schedule(done_ser + latTicks, [this, p] {
+    const Tick done_ser = sim::tickAdd(net.now(), serTicks);
+    net.eventQueue().schedule(sim::tickAdd(done_ser, latTicks), [this, p] {
         net.onStageExit(*this, p.msg, p.injected);
     });
     if (!q.empty())

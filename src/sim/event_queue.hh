@@ -76,7 +76,7 @@ class EventQueue
     scheduleIn(Tick delta, std::function<void()> fn,
                int priority = defaultPriority)
     {
-        schedule(curTick + delta, std::move(fn), priority);
+        schedule(tickAdd(curTick, delta), std::move(fn), priority);
     }
 
     /**
@@ -168,7 +168,7 @@ class SelfEvent
     void
     scheduleIn(Tick delta, int priority = defaultPriority)
     {
-        schedule(q.now() + delta, priority);
+        schedule(tickAdd(q.now(), delta), priority);
     }
 
     /** Cancel any pending occurrence. */

@@ -82,7 +82,7 @@ class ClockedObject : public SimObject
     Tick clockPeriod() const { return period; }
 
     /** Convert a cycle count of this domain to ticks. */
-    Tick cyclesToTicks(Cycles c) const { return c * period; }
+    Tick cyclesToTicks(Cycles c) const { return tickMul(c, period); }
 
     /** The current cycle number (floor). */
     Cycles curCycle() const { return now() / period; }
@@ -95,8 +95,8 @@ class ClockedObject : public SimObject
     clockEdge(Cycles cycles = 0) const
     {
         const Tick t = now();
-        const Tick aligned = ((t + period - 1) / period) * period;
-        return aligned + cycles * period;
+        const Tick aligned = tickMul(tickAdd(t, period - 1) / period, period);
+        return tickAdd(aligned, tickMul(cycles, period));
     }
 
   private:

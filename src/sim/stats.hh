@@ -77,6 +77,12 @@ class Group
     {
     }
 
+    // Rule-of-five: groups are registered by pointer (addChild) and hold
+    // non-owning pointers to member stats; a copy would alias both sides
+    // of the registry. Keep them pinned.
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
     /** Register a scalar under this group. */
     void addScalar(const std::string &stat_name, Scalar *s);
 

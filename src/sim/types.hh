@@ -12,6 +12,8 @@
 
 #include <cstdint>
 
+#include "sim/logging.hh"
+
 namespace nova::sim
 {
 
@@ -38,6 +40,39 @@ constexpr Tick tickS = 1000 * tickMs;
 
 /** The largest representable tick; used as "never". */
 constexpr Tick maxTick = ~Tick(0);
+
+/** @{ @name Checked Tick arithmetic
+ * Tick is unsigned; a silently wrapped sum or product schedules an event
+ * at a nonsense time and the simulation "hangs" or drops work with no
+ * diagnostic. All Tick arithmetic outside the sim kernel must use these
+ * helpers (enforced by novalint's tick-arith rule); they panic on
+ * overflow/underflow instead of wrapping.
+ */
+
+/** a + b, panicking on overflow. */
+inline Tick
+tickAdd(Tick a, Tick b)
+{
+    NOVA_ASSERT(b <= maxTick - a, "Tick addition overflow");
+    return a + b;
+}
+
+/** a - b, panicking on underflow. @pre a >= b. */
+inline Tick
+tickSub(Tick a, Tick b)
+{
+    NOVA_ASSERT(a >= b, "Tick subtraction underflow");
+    return a - b;
+}
+
+/** a * b, panicking on overflow. */
+inline Tick
+tickMul(Tick a, Tick b)
+{
+    NOVA_ASSERT(b == 0 || a <= maxTick / b, "Tick multiplication overflow");
+    return a * b;
+}
+/** @} */
 
 /** Convert a tick count to seconds. */
 inline double

@@ -1,0 +1,10 @@
+// Fixture: NOVA_ASSERT whose condition mutates state must fire.
+#include "sim/logging.hh"
+
+void
+hazard(int n)
+{
+    int i = 0;
+    NOVA_ASSERT(i++ < n, "mutating condition");
+    (void)i;
+}

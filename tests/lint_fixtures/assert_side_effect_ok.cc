@@ -1,0 +1,12 @@
+// Fixture: side-effect-free assertions (including comparisons that
+// contain '=' as part of ==, !=, <=, >=) are clean.
+#include "sim/logging.hh"
+
+void
+safe(int n)
+{
+    int i = 0;
+    NOVA_ASSERT(i + 1 <= n, "pure condition");
+    NOVA_ASSERT(i == 0 || n != 0, "still pure");
+    (void)i;
+}

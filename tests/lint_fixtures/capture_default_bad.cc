@@ -1,0 +1,10 @@
+// Fixture: a default-capture lambda in a file that schedules events
+// must fire capture-default.
+#include "sim/event_queue.hh"
+
+void
+hazard(nova::sim::EventQueue &eq)
+{
+    int x = 0;
+    eq.scheduleIn(10, [&] { x += 1; });
+}

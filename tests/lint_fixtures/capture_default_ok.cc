@@ -1,0 +1,11 @@
+// Fixture: explicit by-value captures in an event-scheduling file are
+// fine, and default captures in files that never touch the event
+// machinery are out of scope.
+#include "sim/event_queue.hh"
+
+void
+safe(nova::sim::EventQueue &eq)
+{
+    int x = 0;
+    eq.scheduleIn(10, [x] { (void)x; });
+}

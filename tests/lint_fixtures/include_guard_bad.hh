@@ -1,0 +1,11 @@
+// Fixture: a guard that is not NOVA_*_HH must fire include-guard.
+#ifndef LINT_FIXTURE_WRONG_GUARD_H
+#define LINT_FIXTURE_WRONG_GUARD_H
+
+inline int
+answer()
+{
+    return 42;
+}
+
+#endif // LINT_FIXTURE_WRONG_GUARD_H

@@ -1,0 +1,11 @@
+// Fixture: a matching NOVA_*_HH ifndef/define pair — clean.
+#ifndef NOVA_LINT_FIXTURE_INCLUDE_GUARD_OK_HH
+#define NOVA_LINT_FIXTURE_INCLUDE_GUARD_OK_HH
+
+inline int
+answer()
+{
+    return 42;
+}
+
+#endif // NOVA_LINT_FIXTURE_INCLUDE_GUARD_OK_HH

@@ -1,0 +1,11 @@
+// Fixture: a raw new expression must fire raw-new.
+struct Widget
+{
+    int x = 0;
+};
+
+Widget *
+hazard()
+{
+    return new Widget;
+}

@@ -1,0 +1,13 @@
+// Fixture: unique_ptr ownership via make_unique is the sanctioned form.
+#include <memory>
+
+struct Widget
+{
+    int x = 0;
+};
+
+std::unique_ptr<Widget>
+safe()
+{
+    return std::make_unique<Widget>();
+}

@@ -1,0 +1,19 @@
+// Fixture: every violation below carries a novalint:allow — same-line
+// and previous-line forms — so the file must lint clean.
+struct Widget
+{
+    int x = 0;
+};
+
+Widget *
+sameLine()
+{
+    return new Widget; // novalint:allow(raw-new)
+}
+
+Widget *
+previousLine()
+{
+    // novalint:allow(raw-new)
+    return new Widget;
+}

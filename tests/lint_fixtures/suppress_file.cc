@@ -1,0 +1,18 @@
+// Fixture: a file-wide allow silences every occurrence of the rule.
+// novalint:allow-file(raw-new)
+struct Widget
+{
+    int x = 0;
+};
+
+Widget *
+first()
+{
+    return new Widget;
+}
+
+Widget *
+second()
+{
+    return new Widget;
+}

@@ -1,0 +1,8 @@
+// Fixture: raw arithmetic on now() must fire tick-arith.
+#include "sim/event_queue.hh"
+
+nova::sim::Tick
+hazard(nova::sim::EventQueue &eq)
+{
+    return eq.now() + 100;
+}

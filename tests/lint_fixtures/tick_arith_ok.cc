@@ -1,0 +1,8 @@
+// Fixture: the checked helpers are the sanctioned Tick arithmetic.
+#include "sim/event_queue.hh"
+
+nova::sim::Tick
+safe(nova::sim::EventQueue &eq)
+{
+    return nova::sim::tickAdd(eq.now(), 100);
+}

@@ -1,0 +1,14 @@
+// Fixture: range-for over an unordered container in an event-scheduling
+// file must fire unordered-iteration.
+#include <unordered_map>
+
+#include "sim/event_queue.hh"
+
+void
+hazard(nova::sim::EventQueue &eq)
+{
+    std::unordered_map<int, int> pending;
+    pending[1] = 10;
+    for (const auto &kv : pending)
+        eq.scheduleIn(kv.second, [] {});
+}

@@ -1,0 +1,15 @@
+// Fixture: point lookups (find/end/count) on an unordered container are
+// deterministic and allowed; only iteration order is hazardous.
+#include <unordered_map>
+
+#include "sim/event_queue.hh"
+
+void
+safe(nova::sim::EventQueue &eq)
+{
+    std::unordered_map<int, int> pending;
+    pending[1] = 10;
+    auto it = pending.find(1);
+    if (it != pending.end())
+        eq.scheduleIn(it->second, [] {});
+}

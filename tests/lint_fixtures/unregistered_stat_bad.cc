@@ -1,0 +1,8 @@
+// Fixture pair of unregistered_stat_bad.hh: only `hits` is registered.
+#include "unregistered_stat_bad.hh"
+
+BadCounter::BadCounter(std::string name, nova::sim::EventQueue &queue)
+    : nova::sim::SimObject(std::move(name), queue)
+{
+    statistics().addScalar("hits", &hits);
+}

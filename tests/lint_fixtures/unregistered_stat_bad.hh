@@ -1,0 +1,17 @@
+// Fixture: `misses` is declared but never registered in the paired .cc;
+// unregistered-stat must fire on its declaration line.
+#ifndef NOVA_LINT_FIXTURE_UNREGISTERED_STAT_BAD_HH
+#define NOVA_LINT_FIXTURE_UNREGISTERED_STAT_BAD_HH
+
+#include "sim/sim_object.hh"
+
+class BadCounter : public nova::sim::SimObject
+{
+  public:
+    BadCounter(std::string name, nova::sim::EventQueue &queue);
+
+    nova::sim::stats::Scalar hits;
+    nova::sim::stats::Scalar misses;
+};
+
+#endif // NOVA_LINT_FIXTURE_UNREGISTERED_STAT_BAD_HH

@@ -1,0 +1,9 @@
+// Fixture pair of unregistered_stat_ok.hh: every stat is registered.
+#include "unregistered_stat_ok.hh"
+
+GoodCounter::GoodCounter(std::string name, nova::sim::EventQueue &queue)
+    : nova::sim::SimObject(std::move(name), queue)
+{
+    statistics().addScalar("hits", &hits);
+    statistics().addScalar("misses", &misses);
+}

@@ -1,0 +1,16 @@
+// Fixture: both stats are registered in the paired .cc — clean.
+#ifndef NOVA_LINT_FIXTURE_UNREGISTERED_STAT_OK_HH
+#define NOVA_LINT_FIXTURE_UNREGISTERED_STAT_OK_HH
+
+#include "sim/sim_object.hh"
+
+class GoodCounter : public nova::sim::SimObject
+{
+  public:
+    GoodCounter(std::string name, nova::sim::EventQueue &queue);
+
+    nova::sim::stats::Scalar hits;
+    nova::sim::stats::Scalar misses;
+};
+
+#endif // NOVA_LINT_FIXTURE_UNREGISTERED_STAT_OK_HH

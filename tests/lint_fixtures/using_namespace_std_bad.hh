@@ -1,0 +1,15 @@
+// Fixture: a namespace-std using-directive in a header must fire.
+#ifndef NOVA_LINT_FIXTURE_USING_NAMESPACE_STD_BAD_HH
+#define NOVA_LINT_FIXTURE_USING_NAMESPACE_STD_BAD_HH
+
+#include <string>
+
+using namespace std;
+
+inline string
+shout(const string &s)
+{
+    return s + "!";
+}
+
+#endif // NOVA_LINT_FIXTURE_USING_NAMESPACE_STD_BAD_HH

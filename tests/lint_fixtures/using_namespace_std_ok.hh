@@ -1,0 +1,13 @@
+// Fixture: qualified names in a header — clean.
+#ifndef NOVA_LINT_FIXTURE_USING_NAMESPACE_STD_OK_HH
+#define NOVA_LINT_FIXTURE_USING_NAMESPACE_STD_OK_HH
+
+#include <string>
+
+inline std::string
+shout(const std::string &s)
+{
+    return s + "!";
+}
+
+#endif // NOVA_LINT_FIXTURE_USING_NAMESPACE_STD_OK_HH

@@ -1,0 +1,13 @@
+// Fixture: a polymorphic base without a virtual destructor must fire
+// virtual-dtor at the class declaration.
+#ifndef NOVA_LINT_FIXTURE_VIRTUAL_DTOR_BAD_HH
+#define NOVA_LINT_FIXTURE_VIRTUAL_DTOR_BAD_HH
+
+class Model
+{
+  public:
+    virtual void step() = 0;
+    virtual int latency() const { return 1; }
+};
+
+#endif // NOVA_LINT_FIXTURE_VIRTUAL_DTOR_BAD_HH

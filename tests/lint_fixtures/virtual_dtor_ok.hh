@@ -1,0 +1,26 @@
+// Fixture: a polymorphic base with a virtual destructor, a derived
+// class (destructor virtuality comes from the base), and a plain
+// value type — all clean.
+#ifndef NOVA_LINT_FIXTURE_VIRTUAL_DTOR_OK_HH
+#define NOVA_LINT_FIXTURE_VIRTUAL_DTOR_OK_HH
+
+class Model
+{
+  public:
+    virtual ~Model() = default;
+    virtual void step() = 0;
+};
+
+class FastModel : public Model
+{
+  public:
+    void step() override {}
+};
+
+struct Point
+{
+    int x = 0;
+    int y = 0;
+};
+
+#endif // NOVA_LINT_FIXTURE_VIRTUAL_DTOR_OK_HH

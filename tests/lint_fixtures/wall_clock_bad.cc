@@ -1,0 +1,12 @@
+// Fixture: entropy and wall-clock sources outside src/sim/random.*
+// must each fire.
+#include <chrono>
+#include <random>
+
+std::uint64_t
+hazard()
+{
+    std::random_device rd;
+    const auto t = std::chrono::steady_clock::now();
+    return rd() + static_cast<std::uint64_t>(t.time_since_epoch().count());
+}

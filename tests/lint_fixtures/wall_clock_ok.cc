@@ -1,0 +1,8 @@
+// Fixture: randomness routed through the seeded sim::Rng is fine.
+#include "sim/random.hh"
+
+std::uint64_t
+safe(nova::sim::Rng &rng)
+{
+    return rng.nextBounded(100);
+}

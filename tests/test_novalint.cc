@@ -1,0 +1,268 @@
+/**
+ * @file
+ * nova-lint rule tests: every rule must fire on its violating fixture
+ * at the expected location, stay quiet on the clean fixture, and honour
+ * the suppression-comment syntax.
+ *
+ * Fixtures live in tests/lint_fixtures (NOVA_LINT_FIXTURE_DIR). Expected
+ * lines are located by searching the fixture text for a marker substring
+ * so the fixtures can be edited without breaking line-number literals.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace
+{
+
+using nova::lint::Diagnostic;
+using nova::lint::lintFiles;
+using nova::lint::SourceFile;
+
+std::string
+readFixture(const std::string &name)
+{
+    const std::string path = std::string(NOVA_LINT_FIXTURE_DIR) + "/" + name;
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "missing fixture " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+std::vector<Diagnostic>
+lintFixtures(const std::vector<std::string> &names)
+{
+    std::vector<SourceFile> files;
+    for (const std::string &name : names)
+        files.push_back({name, readFixture(name)});
+    return lintFiles(files);
+}
+
+/** 1-based line of the first occurrence of `marker` in `text`. */
+int
+lineOf(const std::string &text, const std::string &marker)
+{
+    const std::size_t at = text.find(marker);
+    EXPECT_NE(at, std::string::npos) << "marker not found: " << marker;
+    if (at == std::string::npos)
+        return -1;
+    return 1 + static_cast<int>(
+                   std::count(text.begin(), text.begin() + at, '\n'));
+}
+
+/** Expect exactly one diagnostic, with the given rule at marker's line. */
+void
+expectSingle(const std::string &fixture, const std::string &rule,
+             const std::string &marker)
+{
+    SCOPED_TRACE(fixture);
+    const std::string text = readFixture(fixture);
+    const auto diags = lintFiles({{fixture, text}});
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, rule);
+    EXPECT_EQ(diags[0].file, fixture);
+    EXPECT_EQ(diags[0].line, lineOf(text, marker));
+}
+
+void
+expectClean(const std::vector<std::string> &fixtures)
+{
+    const auto diags = lintFixtures(fixtures);
+    for (const Diagnostic &d : diags)
+        ADD_FAILURE() << nova::lint::formatDiagnostic(d);
+}
+
+TEST(NovaLint, CaptureDefaultFires)
+{
+    expectSingle("capture_default_bad.cc", "capture-default", "[&]");
+}
+
+TEST(NovaLint, CaptureDefaultClean)
+{
+    expectClean({"capture_default_ok.cc"});
+}
+
+TEST(NovaLint, UnorderedIterationFires)
+{
+    expectSingle("unordered_iteration_bad.cc", "unordered-iteration",
+                 "for (const auto &kv : pending)");
+}
+
+TEST(NovaLint, UnorderedIterationClean)
+{
+    expectClean({"unordered_iteration_ok.cc"});
+}
+
+TEST(NovaLint, WallClockFires)
+{
+    const std::string text = readFixture("wall_clock_bad.cc");
+    const auto diags = lintFiles({{"wall_clock_bad.cc", text}});
+    ASSERT_EQ(diags.size(), 2u);
+    EXPECT_EQ(diags[0].rule, "wall-clock");
+    EXPECT_EQ(diags[0].line, lineOf(text, "random_device rd"));
+    EXPECT_EQ(diags[1].rule, "wall-clock");
+    EXPECT_EQ(diags[1].line, lineOf(text, "steady_clock::now"));
+}
+
+TEST(NovaLint, WallClockClean)
+{
+    expectClean({"wall_clock_ok.cc"});
+}
+
+TEST(NovaLint, RawNewFires)
+{
+    expectSingle("raw_new_bad.cc", "raw-new", "new Widget");
+}
+
+TEST(NovaLint, RawNewClean)
+{
+    expectClean({"raw_new_ok.cc"});
+}
+
+TEST(NovaLint, TickArithFires)
+{
+    expectSingle("tick_arith_bad.cc", "tick-arith", "eq.now() + 100");
+}
+
+TEST(NovaLint, TickArithClean)
+{
+    expectClean({"tick_arith_ok.cc"});
+}
+
+TEST(NovaLint, UnregisteredStatFires)
+{
+    const std::string hh = readFixture("unregistered_stat_bad.hh");
+    const std::string cc = readFixture("unregistered_stat_bad.cc");
+    const auto diags = lintFiles({{"unregistered_stat_bad.hh", hh},
+                                  {"unregistered_stat_bad.cc", cc}});
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "unregistered-stat");
+    EXPECT_EQ(diags[0].file, "unregistered_stat_bad.hh");
+    EXPECT_EQ(diags[0].line, lineOf(hh, "Scalar misses"));
+    EXPECT_NE(diags[0].message.find("'misses'"), std::string::npos);
+}
+
+TEST(NovaLint, UnregisteredStatClean)
+{
+    expectClean({"unregistered_stat_ok.hh", "unregistered_stat_ok.cc"});
+}
+
+TEST(NovaLint, UsingNamespaceStdFires)
+{
+    expectSingle("using_namespace_std_bad.hh", "using-namespace-std",
+                 "using namespace std");
+}
+
+TEST(NovaLint, UsingNamespaceStdClean)
+{
+    expectClean({"using_namespace_std_ok.hh"});
+}
+
+TEST(NovaLint, VirtualDtorFires)
+{
+    expectSingle("virtual_dtor_bad.hh", "virtual-dtor", "class Model");
+}
+
+TEST(NovaLint, VirtualDtorClean)
+{
+    expectClean({"virtual_dtor_ok.hh"});
+}
+
+TEST(NovaLint, AssertSideEffectFires)
+{
+    expectSingle("assert_side_effect_bad.cc", "assert-side-effect",
+                 "NOVA_ASSERT(i++");
+}
+
+TEST(NovaLint, AssertSideEffectClean)
+{
+    expectClean({"assert_side_effect_ok.cc"});
+}
+
+TEST(NovaLint, IncludeGuardFires)
+{
+    expectSingle("include_guard_bad.hh", "include-guard",
+                 "#ifndef LINT_FIXTURE_WRONG_GUARD_H");
+}
+
+TEST(NovaLint, IncludeGuardClean)
+{
+    expectClean({"include_guard_ok.hh"});
+}
+
+TEST(NovaLint, SuppressionSameAndPreviousLine)
+{
+    expectClean({"suppress.cc"});
+}
+
+TEST(NovaLint, SuppressionWholeFile)
+{
+    expectClean({"suppress_file.cc"});
+}
+
+TEST(NovaLint, SuppressionForOtherRuleDoesNotSilence)
+{
+    const SourceFile f{
+        "inline.cc",
+        "struct W { int x; };\n"
+        "W *f() {\n"
+        "    return new W; // novalint:allow(wall-clock)\n"
+        "}\n"};
+    const auto diags = lintFiles({f});
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "raw-new");
+    EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(NovaLint, ViolationsInCommentsAndStringsIgnored)
+{
+    const SourceFile f{
+        "inline.cc",
+        "// return new Widget; std::random_device rd;\n"
+        "/* using namespace std; [&] */\n"
+        "const char *s = \"new Widget [&] steady_clock\";\n"};
+    expectClean({});
+    const auto diags = lintFiles({f});
+    for (const Diagnostic &d : diags)
+        ADD_FAILURE() << nova::lint::formatDiagnostic(d);
+}
+
+TEST(NovaLint, DiagnosticFormat)
+{
+    const Diagnostic d{"src/x.cc", 12, "raw-new", "msg"};
+    EXPECT_EQ(nova::lint::formatDiagnostic(d),
+              "src/x.cc:12: error: [raw-new] msg");
+}
+
+TEST(NovaLint, RuleCatalogComplete)
+{
+    const auto &names = nova::lint::ruleNames();
+    EXPECT_GE(names.size(), 8u);
+    const std::vector<std::string> required = {
+        "capture-default", "unordered-iteration", "wall-clock", "raw-new",
+        "tick-arith",      "unregistered-stat",   "using-namespace-std",
+        "virtual-dtor",    "assert-side-effect",  "include-guard"};
+    for (const std::string &expected : required) {
+        EXPECT_NE(std::find(names.begin(), names.end(), expected),
+                  names.end())
+            << "missing rule " << expected;
+    }
+}
+
+TEST(NovaLint, RuleFilterRestrictsChecks)
+{
+    const std::string text = readFixture("raw_new_bad.cc");
+    const auto diags =
+        lintFiles({{"raw_new_bad.cc", text}}, {"wall-clock"});
+    EXPECT_TRUE(diags.empty());
+}
+
+} // namespace

@@ -389,3 +389,20 @@ TEST(Logging, FatalAndPanicCarryMessages)
                   std::string::npos);
     }
 }
+
+TEST(TickArith, CheckedOpsPassThroughInRange)
+{
+    EXPECT_EQ(tickAdd(3, 4), 7u);
+    EXPECT_EQ(tickSub(10, 4), 6u);
+    EXPECT_EQ(tickMul(6, 7), 42u);
+    EXPECT_EQ(tickAdd(maxTick, 0), maxTick);
+    EXPECT_EQ(tickMul(maxTick, 1), maxTick);
+    EXPECT_EQ(tickMul(maxTick, 0), 0u);
+}
+
+TEST(TickArith, OverflowAndUnderflowPanic)
+{
+    EXPECT_THROW(tickAdd(maxTick, 1), PanicError);
+    EXPECT_THROW(tickSub(3, 4), PanicError);
+    EXPECT_THROW(tickMul(maxTick / 2 + 1, 2), PanicError);
+}

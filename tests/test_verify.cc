@@ -68,8 +68,9 @@ TEST(Fuzzer, RespectsBounds)
         ASSERT_LE(f.graph.numVertices(), cfg.maxVertices)
             << f.description;
         ASSERT_LE(f.graph.numEdges(), 552u) << f.description;
-        if (f.graph.numVertices() > 0)
+        if (f.graph.numVertices() > 0) {
             ASSERT_LT(f.source, f.graph.numVertices()) << f.description;
+        }
     }
 }
 

@@ -1,0 +1,661 @@
+#include "lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <regex>
+#include <sstream>
+
+namespace nova::lint
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// File preparation: split into lines, strip comments/strings, collect
+// suppression directives, classify the file.
+// ---------------------------------------------------------------------
+
+struct Prepared
+{
+    const SourceFile *src = nullptr;
+    std::vector<std::string> raw;  ///< Original lines.
+    std::vector<std::string> code; ///< Comment/string-stripped lines.
+    std::string codeText;          ///< code joined with '\n'.
+    std::vector<std::set<std::string>> allows; ///< Per-line allow(rule).
+    std::set<std::string> fileAllows;          ///< allow-file(rule).
+    bool header = false;
+    bool eventFile = false; ///< Interacts with the event machinery.
+    std::string stem;       ///< Path without extension (for pairing).
+};
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char c : text) {
+        if (c == '\n') {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+/** Parse every `novalint:allow(...)`/`allow-file(...)` on a raw line. */
+void
+collectAllows(const std::string &line, std::set<std::string> &line_rules,
+              std::set<std::string> &file_rules)
+{
+    static const std::regex re(
+        R"(novalint:allow(-file)?\(([A-Za-z0-9_,\- ]+)\))");
+    auto begin = std::sregex_iterator(line.begin(), line.end(), re);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        const bool whole_file = (*it)[1].matched;
+        std::stringstream names((*it)[2].str());
+        std::string name;
+        while (std::getline(names, name, ',')) {
+            name.erase(std::remove(name.begin(), name.end(), ' '),
+                       name.end());
+            if (name.empty())
+                continue;
+            (whole_file ? file_rules : line_rules).insert(name);
+        }
+    }
+}
+
+/**
+ * Blank out comments and literal contents, preserving line structure and
+ * the quote characters themselves (so `m["k"]` cannot look like a lambda
+ * introducer). Handles line/block comments, string and char literals with
+ * escapes, and digit separators (1'000).
+ */
+std::vector<std::string>
+stripCode(const std::vector<std::string> &raw)
+{
+    std::vector<std::string> out;
+    bool in_block = false;
+    for (const std::string &line : raw) {
+        std::string s;
+        s.reserve(line.size());
+        char quote = 0; // active literal delimiter, or 0
+        char prev_code = 0;
+        for (std::size_t i = 0; i < line.size(); ++i) {
+            const char c = line[i];
+            const char n = i + 1 < line.size() ? line[i + 1] : 0;
+            if (in_block) {
+                if (c == '*' && n == '/') {
+                    in_block = false;
+                    s += "  ";
+                    ++i;
+                } else {
+                    s += ' ';
+                }
+                continue;
+            }
+            if (quote) {
+                if (c == '\\') {
+                    s += "  ";
+                    ++i;
+                } else if (c == quote) {
+                    quote = 0;
+                    s += c;
+                } else {
+                    s += ' ';
+                }
+                continue;
+            }
+            if (c == '/' && n == '/')
+                break; // rest of line is a comment
+            if (c == '/' && n == '*') {
+                in_block = true;
+                s += "  ";
+                ++i;
+                continue;
+            }
+            if (c == '"' ||
+                (c == '\'' &&
+                 !(std::isalnum(static_cast<unsigned char>(prev_code)) ||
+                   prev_code == '_'))) {
+                quote = c;
+                s += c;
+                prev_code = c;
+                continue;
+            }
+            s += c;
+            if (!std::isspace(static_cast<unsigned char>(c)))
+                prev_code = c;
+        }
+        out.push_back(s);
+    }
+    return out;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+Prepared
+prepare(const SourceFile &src)
+{
+    Prepared p;
+    p.src = &src;
+    p.raw = splitLines(src.text);
+    p.code = stripCode(p.raw);
+    p.allows.resize(p.raw.size());
+    for (std::size_t i = 0; i < p.raw.size(); ++i)
+        collectAllows(p.raw[i], p.allows[i], p.fileAllows);
+    for (const std::string &line : p.code) {
+        p.codeText += line;
+        p.codeText += '\n';
+    }
+    p.header = endsWith(src.path, ".hh") || endsWith(src.path, ".hpp") ||
+               endsWith(src.path, ".h");
+    const std::size_t dot = src.path.rfind('.');
+    p.stem = dot == std::string::npos ? src.path : src.path.substr(0, dot);
+
+    // A file participates in event scheduling when it names the event
+    // machinery or includes the kernel headers; only such files can turn
+    // lexical nondeterminism into schedule nondeterminism.
+    static const std::regex ev(R"(\b(EventQueue|SelfEvent)\b)");
+    p.eventFile = std::regex_search(p.codeText, ev);
+    if (!p.eventFile) {
+        static const std::regex inc(
+            "#\\s*include\\s*\"sim/(event_queue|sim_object|simulator)"
+            "\\.hh\"");
+        for (const std::string &line : p.raw) {
+            if (std::regex_search(line, inc)) {
+                p.eventFile = true;
+                break;
+            }
+        }
+    }
+    return p;
+}
+
+bool
+suppressed(const Prepared &p, std::size_t line_idx, const std::string &rule)
+{
+    if (p.fileAllows.count(rule))
+        return true;
+    if (line_idx < p.allows.size() && p.allows[line_idx].count(rule))
+        return true;
+    if (line_idx > 0 && p.allows[line_idx - 1].count(rule))
+        return true;
+    return false;
+}
+
+void
+emit(std::vector<Diagnostic> &out, const Prepared &p, std::size_t line_idx,
+     const std::string &rule, const std::string &message)
+{
+    if (suppressed(p, line_idx, rule))
+        return;
+    out.push_back(Diagnostic{p.src->path, static_cast<int>(line_idx + 1),
+                             rule, message});
+}
+
+/** Flag every line matching `re` with the same rule/message. */
+void
+flagLines(std::vector<Diagnostic> &out, const Prepared &p,
+          const std::regex &re, const std::string &rule,
+          const std::string &message)
+{
+    for (std::size_t i = 0; i < p.code.size(); ++i) {
+        if (std::regex_search(p.code[i], re))
+            emit(out, p, i, rule, message);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------
+
+/**
+ * capture-default: `[&]`/`[=]` lambdas in event-scheduling files. A
+ * defaulted reference capture handed to EventQueue::schedule dangles as
+ * soon as the enclosing frame unwinds before the event fires; demanding
+ * explicit captures makes every captured lifetime reviewable.
+ */
+void
+ruleCaptureDefault(std::vector<Diagnostic> &out, const Prepared &p)
+{
+    if (!p.eventFile)
+        return;
+    static const std::regex re(R"(\[\s*[&=]\s*[\],])");
+    flagLines(out, p, re, "capture-default",
+              "capture-default lambda in an event-scheduling file; list "
+              "captures explicitly (by value for scheduled closures)");
+}
+
+/**
+ * unordered-iteration: iterating an unordered container in an
+ * event-scheduling file. Bucket order depends on hash seeding and
+ * allocation history, so any event scheduled from such a loop executes
+ * in nondeterministic order across runs.
+ */
+void
+collectUnorderedNames(const std::string &text, std::set<std::string> &names)
+{
+    static const std::regex decl(R"(\bunordered_(?:map|set)\s*<)");
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), decl);
+         it != std::sregex_iterator(); ++it) {
+        std::size_t pos = static_cast<std::size_t>(it->position()) +
+                          it->length();
+        int depth = 1;
+        while (pos < text.size() && depth > 0) {
+            if (text[pos] == '<')
+                ++depth;
+            else if (text[pos] == '>')
+                --depth;
+            ++pos;
+        }
+        static const std::regex name_re(R"(^\s*&?\s*([A-Za-z_]\w*))");
+        std::smatch m;
+        const std::string rest = text.substr(pos, 128);
+        if (std::regex_search(rest, m, name_re))
+            names.insert(m[1].str());
+    }
+}
+
+void
+ruleUnorderedIteration(std::vector<Diagnostic> &out, const Prepared &p,
+                       const std::map<std::string, const Prepared *> &by_path)
+{
+    if (!p.eventFile)
+        return;
+    // Names declared in this file, plus — for a .cc — members declared
+    // in its same-stem header (iteration usually lives in the .cc).
+    std::set<std::string> names;
+    collectUnorderedNames(p.codeText, names);
+    if (!p.header) {
+        auto it = by_path.find(p.stem + ".hh");
+        if (it != by_path.end())
+            collectUnorderedNames(it->second->codeText, names);
+    }
+    if (names.empty())
+        return;
+    for (const std::string &name : names) {
+        // `.end()` alone is a find()-comparison idiom, not iteration;
+        // iterating always needs some flavour of begin().
+        const std::regex use(
+            "(for\\s*\\([^;)]*:\\s*" + name + "\\b)|(\\b" + name +
+            "\\s*\\.\\s*c?r?begin\\s*\\()");
+        flagLines(out, p, use, "unordered-iteration",
+                  "iteration over unordered container '" + name +
+                      "' in an event-scheduling file; bucket order is "
+                      "nondeterministic — use std::map/std::set or sort "
+                      "before iterating");
+    }
+}
+
+/**
+ * wall-clock: entropy or wall-clock sources outside src/sim/random.*.
+ * Every stochastic choice must flow through sim::Rng so a seed
+ * reproduces a run bit-for-bit (the whole verify/replay harness relies
+ * on this).
+ */
+void
+ruleWallClock(std::vector<Diagnostic> &out, const Prepared &p)
+{
+    if (endsWith(p.stem, "sim/random"))
+        return;
+    static const std::regex re(
+        R"(\bstd\s*::\s*rand\b|\bsrand\s*\(|\brandom_device\b)"
+        R"(|\bmt19937|\bsystem_clock\b|\bsteady_clock\b)"
+        R"(|\bhigh_resolution_clock\b|\bclock_gettime\b|\bgettimeofday\b)"
+        R"(|\btime\s*\(\s*(?:NULL|nullptr|0)\s*\))");
+    flagLines(out, p, re, "wall-clock",
+              "nondeterministic entropy/wall-clock source; route all "
+              "randomness through sim::Rng (src/sim/random.*)");
+}
+
+/**
+ * raw-new: raw `new` expressions. Components must be owned by
+ * std::unique_ptr (std::make_unique or Simulator::create) so teardown
+ * order is deterministic and leaks are impossible by construction.
+ */
+void
+ruleRawNew(std::vector<Diagnostic> &out, const Prepared &p)
+{
+    static const std::regex re(R"(\bnew\b\s*(?:\(|[A-Za-z_:<]))");
+    flagLines(out, p, re, "raw-new",
+              "raw 'new': own objects with std::make_unique / "
+              "Simulator::create instead");
+}
+
+/**
+ * tick-arith: unchecked arithmetic on Tick-valued expressions outside
+ * the sim kernel. Tick is unsigned 64-bit picoseconds; a wrapped sum
+ * silently schedules an event in the distant past/future. The checked
+ * helpers (sim::tickAdd/tickSub/tickMul) assert instead.
+ */
+void
+ruleTickArith(std::vector<Diagnostic> &out, const Prepared &p)
+{
+    if (p.src->path.find("src/sim/") != std::string::npos)
+        return;
+    static const std::regex re(
+        R"((\bnow\s*\(\s*\)|\bcurTick\b|\bclockEdge\s*\([^()]*\)|\bmaxTick\b)\s*[-+*][^=])");
+    flagLines(out, p, re, "tick-arith",
+              "raw arithmetic on a Tick-valued expression; use the "
+              "overflow-checked sim::tickAdd/tickSub/tickMul helpers");
+}
+
+/**
+ * unregistered-stat: a stats::Scalar/Histogram member declared in a
+ * header but never registered (addScalar/addHistogram takes `&member`)
+ * in the header or its same-stem `.cc`. Unregistered stats silently
+ * vanish from dumps and from the differential-verify comparisons.
+ */
+void
+ruleUnregisteredStat(std::vector<Diagnostic> &out, const Prepared &p,
+                     const std::map<std::string, const Prepared *> &by_stem)
+{
+    if (!p.header)
+        return;
+    static const std::regex decl(
+        R"(\bstats::(?:Scalar|Histogram)\s+([A-Za-z_]\w*)\s*;)");
+    const Prepared *pair = nullptr;
+    auto it = by_stem.find(p.stem + ".cc");
+    if (it != by_stem.end())
+        pair = it->second;
+    for (std::size_t i = 0; i < p.code.size(); ++i) {
+        auto begin = std::sregex_iterator(p.code[i].begin(),
+                                          p.code[i].end(), decl);
+        for (auto m = begin; m != std::sregex_iterator(); ++m) {
+            const std::string name = (*m)[1].str();
+            const std::regex reg("&\\s*" + name + "\\b");
+            const bool registered =
+                std::regex_search(p.codeText, reg) ||
+                (pair && std::regex_search(pair->codeText, reg));
+            if (!registered) {
+                emit(out, p, i, "unregistered-stat",
+                     "stat '" + name +
+                         "' is declared but never registered with "
+                         "addScalar/addHistogram in this header or its "
+                         "paired .cc");
+            }
+        }
+    }
+}
+
+/** using-namespace-std: `using namespace std` in a header. */
+void
+ruleUsingNamespaceStd(std::vector<Diagnostic> &out, const Prepared &p)
+{
+    if (!p.header)
+        return;
+    static const std::regex re(R"(\busing\s+namespace\s+std\b)");
+    flagLines(out, p, re, "using-namespace-std",
+              "'using namespace std' in a header pollutes every includer; "
+              "qualify names instead");
+}
+
+/**
+ * virtual-dtor: a class that declares virtual member functions, has no
+ * base class, and no virtual destructor. Deleting a derivative through
+ * the base pointer is undefined behaviour.
+ */
+void
+ruleVirtualDtor(std::vector<Diagnostic> &out, const Prepared &p)
+{
+    const std::string &text = p.codeText;
+    static const std::regex cls(R"(\b(class|struct)\s+([A-Za-z_]\w*))");
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), cls);
+         it != std::sregex_iterator(); ++it) {
+        // Skip `enum class` and elaborated uses.
+        const std::size_t at = static_cast<std::size_t>(it->position());
+        std::size_t before = at;
+        while (before > 0 && std::isspace(static_cast<unsigned char>(
+                                 text[before - 1])))
+            --before;
+        if (before >= 4 && text.compare(before - 4, 4, "enum") == 0)
+            continue;
+        if (before >= 6 && text.compare(before - 6, 6, "friend") == 0)
+            continue;
+
+        // Scan the class head: find `{` (definition), bail on `;`
+        // (forward declaration), `:` (has a base: destructor virtuality
+        // is the base's concern), or template punctuation.
+        std::size_t pos = at + it->length();
+        bool open = false;
+        while (pos < text.size()) {
+            const char c = text[pos];
+            if (c == '{') {
+                open = true;
+                break;
+            }
+            if (c == ';' || c == '>' || c == '(' || c == ',')
+                break;
+            if (c == ':') {
+                if (pos + 1 < text.size() && text[pos + 1] == ':')
+                    pos += 2;
+                break; // base clause
+            }
+            if (!std::isspace(static_cast<unsigned char>(c)) &&
+                !std::isalnum(static_cast<unsigned char>(c)) &&
+                c != '_')
+                break;
+            ++pos;
+        }
+        if (!open)
+            continue;
+
+        // Walk the body; only depth-1 tokens belong to this class.
+        int depth = 1;
+        std::size_t i = pos + 1;
+        bool has_virtual = false;
+        bool has_virtual_dtor = false;
+        static const std::regex vtok(R"(^virtual\b(\s*~)?)");
+        while (i < text.size() && depth > 0) {
+            const char c = text[i];
+            if (c == '{') {
+                ++depth;
+            } else if (c == '}') {
+                --depth;
+            } else if (depth == 1 && c == 'v') {
+                std::smatch m;
+                const std::string rest = text.substr(i, 48);
+                if (std::regex_search(rest, m, vtok) &&
+                    (i == 0 ||
+                     (!std::isalnum(static_cast<unsigned char>(
+                          text[i - 1])) &&
+                      text[i - 1] != '_'))) {
+                    has_virtual = true;
+                    if (m[1].matched)
+                        has_virtual_dtor = true;
+                }
+            }
+            ++i;
+        }
+        if (has_virtual && !has_virtual_dtor) {
+            const std::size_t line_idx = static_cast<std::size_t>(
+                std::count(text.begin(), text.begin() + at, '\n'));
+            emit(out, p, line_idx, "virtual-dtor",
+                 "polymorphic class '" + (*it)[2].str() +
+                     "' has virtual functions but no virtual destructor");
+        }
+    }
+}
+
+/**
+ * assert-side-effect: NOVA_ASSERT whose condition mutates state. The
+ * assertion text compiles out in hardened builds, so a `++`/assignment
+ * inside it changes behaviour between build modes.
+ */
+void
+ruleAssertSideEffect(std::vector<Diagnostic> &out, const Prepared &p)
+{
+    const std::string &text = p.codeText;
+    const std::string needle = "NOVA_ASSERT";
+    std::size_t at = 0;
+    while ((at = text.find(needle, at)) != std::string::npos) {
+        std::size_t pos = at + needle.size();
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+        if (pos >= text.size() || text[pos] != '(') {
+            at = pos;
+            continue;
+        }
+        // Extract the balanced argument list.
+        int depth = 0;
+        std::size_t start = pos;
+        std::size_t end = pos;
+        for (; end < text.size(); ++end) {
+            if (text[end] == '(')
+                ++depth;
+            else if (text[end] == ')' && --depth == 0)
+                break;
+        }
+        const std::string args = text.substr(start, end - start);
+        bool bad = args.find("++") != std::string::npos ||
+                   args.find("--") != std::string::npos;
+        for (std::size_t i = 1; !bad && i + 1 < args.size(); ++i) {
+            if (args[i] != '=')
+                continue;
+            const char prev = args[i - 1];
+            const char next = args[i + 1];
+            if (next == '=') {
+                ++i; // `==`
+                continue;
+            }
+            if (prev == '=' || prev == '!' || prev == '<' || prev == '>')
+                continue;
+            bad = true;
+        }
+        if (bad) {
+            const std::size_t line_idx = static_cast<std::size_t>(
+                std::count(text.begin(), text.begin() + at, '\n'));
+            emit(out, p, line_idx, "assert-side-effect",
+                 "NOVA_ASSERT condition has a side effect (++/--/"
+                 "assignment); asserts must be removable without "
+                 "changing behaviour");
+        }
+        at = end;
+    }
+}
+
+/**
+ * include-guard: headers must open with a matching
+ * `#ifndef NOVA_*_HH` / `#define` pair (no #pragma once), so double
+ * inclusion is impossible and guard names stay greppable.
+ */
+void
+ruleIncludeGuard(std::vector<Diagnostic> &out, const Prepared &p)
+{
+    if (!p.header)
+        return;
+    static const std::regex ifndef(R"(^\s*#\s*ifndef\s+([A-Za-z0-9_]+))");
+    static const std::regex define(R"(^\s*#\s*define\s+([A-Za-z0-9_]+))");
+    static const std::regex guard_name(R"(^NOVA_[A-Z0-9_]+_HH$)");
+    for (std::size_t i = 0; i < p.code.size(); ++i) {
+        std::smatch m;
+        if (!std::regex_search(p.code[i], m, ifndef))
+            continue;
+        const std::string guard = m[1].str();
+        std::string defined;
+        for (std::size_t j = i + 1; j < p.code.size() && j <= i + 2; ++j) {
+            std::smatch d;
+            if (std::regex_search(p.code[j], d, define)) {
+                defined = d[1].str();
+                break;
+            }
+        }
+        if (!std::regex_match(guard, guard_name) || defined != guard) {
+            emit(out, p, i, "include-guard",
+                 "header guard must be a matching #ifndef/#define pair "
+                 "named NOVA_<PATH>_HH (got '" + guard + "')");
+        }
+        return; // only the first #ifndef is the guard
+    }
+    emit(out, p, 0, "include-guard",
+         "header has no NOVA_*_HH include guard");
+}
+
+} // namespace
+
+const std::vector<std::string> &
+ruleNames()
+{
+    static const std::vector<std::string> names = {
+        "capture-default",  "unordered-iteration", "wall-clock",
+        "raw-new",          "tick-arith",          "unregistered-stat",
+        "using-namespace-std", "virtual-dtor",     "assert-side-effect",
+        "include-guard",
+    };
+    return names;
+}
+
+std::vector<Diagnostic>
+lintFiles(const std::vector<SourceFile> &files,
+          const std::set<std::string> &enabled)
+{
+    std::vector<Prepared> prepared;
+    prepared.reserve(files.size());
+    for (const SourceFile &f : files)
+        prepared.push_back(prepare(f));
+
+    std::map<std::string, const Prepared *> by_path;
+    for (const Prepared &p : prepared)
+        by_path[p.src->path] = &p;
+
+    const auto on = [&enabled](const char *rule) {
+        return enabled.empty() || enabled.count(rule) > 0;
+    };
+
+    std::vector<Diagnostic> out;
+    for (const Prepared &p : prepared) {
+        if (on("capture-default"))
+            ruleCaptureDefault(out, p);
+        if (on("unordered-iteration"))
+            ruleUnorderedIteration(out, p, by_path);
+        if (on("wall-clock"))
+            ruleWallClock(out, p);
+        if (on("raw-new"))
+            ruleRawNew(out, p);
+        if (on("tick-arith"))
+            ruleTickArith(out, p);
+        if (on("unregistered-stat"))
+            ruleUnregisteredStat(out, p, by_path);
+        if (on("using-namespace-std"))
+            ruleUsingNamespaceStd(out, p);
+        if (on("virtual-dtor"))
+            ruleVirtualDtor(out, p);
+        if (on("assert-side-effect"))
+            ruleAssertSideEffect(out, p);
+        if (on("include-guard"))
+            ruleIncludeGuard(out, p);
+    }
+
+    std::sort(out.begin(), out.end(),
+              [](const Diagnostic &a, const Diagnostic &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    return out;
+}
+
+std::string
+formatDiagnostic(const Diagnostic &d)
+{
+    std::ostringstream os;
+    os << d.file << ":" << d.line << ": error: [" << d.rule << "] "
+       << d.message;
+    return os.str();
+}
+
+} // namespace nova::lint

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * nova-lint: static checks for simulator-invariant hygiene.
+ *
+ * The checker is lexical (comment- and string-aware, but not a full
+ * parser): it enforces the repository rules that keep the discrete-event
+ * simulation deterministic and memory-safe. See docs/STATIC_ANALYSIS.md
+ * for the rule catalog and the rationale behind each rule.
+ *
+ * Suppressions:
+ *  - `// novalint:allow(rule)` on the offending line or the line above
+ *    silences one occurrence;
+ *  - `// novalint:allow-file(rule)` anywhere silences the rule for the
+ *    whole file. Multiple rules may be listed comma-separated.
+ */
+
+#ifndef NOVA_NOVALINT_LINT_HH
+#define NOVA_NOVALINT_LINT_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace nova::lint
+{
+
+/** One rule violation at a specific source location. */
+struct Diagnostic
+{
+    std::string file;    ///< Path as supplied by the caller.
+    int line = 0;        ///< 1-based line number.
+    std::string rule;    ///< Rule identifier (kebab-case).
+    std::string message; ///< Human-readable explanation.
+};
+
+/** A source file handed to the checker (path + full contents). */
+struct SourceFile
+{
+    std::string path;
+    std::string text;
+};
+
+/** All rule identifiers, in reporting order. */
+const std::vector<std::string> &ruleNames();
+
+/**
+ * Lint a set of files together.
+ *
+ * Files are analysed as a set because some rules are cross-file (the
+ * unregistered-stat rule pairs a header with its same-stem `.cc`).
+ *
+ * @param files   the sources to check.
+ * @param enabled when non-empty, only these rules run.
+ * @return diagnostics ordered by (file, line, rule).
+ */
+std::vector<Diagnostic>
+lintFiles(const std::vector<SourceFile> &files,
+          const std::set<std::string> &enabled = {});
+
+/** Render a diagnostic as `path:line: error: [rule] message`. */
+std::string formatDiagnostic(const Diagnostic &d);
+
+} // namespace nova::lint
+
+#endif // NOVA_NOVALINT_LINT_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * nova-lint command-line driver.
+ *
+ * Usage: novalint [--rules=r1,r2] [--list-rules] <file-or-dir>...
+ *
+ * Directories are walked recursively for .hh/.cc sources (build trees
+ * are skipped). Exits 1 when any diagnostic is emitted, so the ctest
+ * `novalint` target gates the build on a clean tree.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+bool
+isSource(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".hh" || ext == ".cc" || ext == ".hpp" || ext == ".cpp" ||
+           ext == ".h";
+}
+
+bool
+skippedDir(const fs::path &p)
+{
+    const std::string name = p.filename().string();
+    return name.rfind("build", 0) == 0 || name.rfind(".", 0) == 0;
+}
+
+void
+collect(const fs::path &root, std::vector<fs::path> &out)
+{
+    if (fs::is_regular_file(root)) {
+        if (isSource(root))
+            out.push_back(root);
+        return;
+    }
+    if (!fs::is_directory(root))
+        return;
+    auto it = fs::recursive_directory_iterator(root);
+    for (auto end = fs::end(it); it != end; ++it) {
+        if (it->is_directory() && skippedDir(it->path())) {
+            it.disable_recursion_pending();
+            continue;
+        }
+        if (it->is_regular_file() && isSource(it->path()))
+            out.push_back(it->path());
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::set<std::string> enabled;
+    std::vector<fs::path> roots;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            for (const std::string &r : nova::lint::ruleNames())
+                std::printf("%s\n", r.c_str());
+            return 0;
+        }
+        if (arg.rfind("--rules=", 0) == 0) {
+            std::stringstream names(arg.substr(8));
+            std::string name;
+            while (std::getline(names, name, ','))
+                if (!name.empty())
+                    enabled.insert(name);
+            continue;
+        }
+        if (arg == "--help" || arg == "-h") {
+            std::printf("usage: novalint [--rules=r1,r2] [--list-rules] "
+                        "<file-or-dir>...\n");
+            return 0;
+        }
+        roots.emplace_back(arg);
+    }
+    if (roots.empty()) {
+        std::fprintf(stderr, "novalint: no inputs (try --help)\n");
+        return 2;
+    }
+
+    std::vector<fs::path> paths;
+    for (const fs::path &root : roots) {
+        if (!fs::exists(root)) {
+            std::fprintf(stderr, "novalint: no such path: %s\n",
+                         root.string().c_str());
+            return 2;
+        }
+        collect(root, paths);
+    }
+    std::sort(paths.begin(), paths.end());
+    paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+    std::vector<nova::lint::SourceFile> files;
+    files.reserve(paths.size());
+    for (const fs::path &p : paths) {
+        std::ifstream in(p, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        files.push_back({p.generic_string(), buf.str()});
+    }
+
+    const std::vector<nova::lint::Diagnostic> diags =
+        nova::lint::lintFiles(files, enabled);
+    for (const nova::lint::Diagnostic &d : diags)
+        std::fprintf(stderr, "%s\n",
+                     nova::lint::formatDiagnostic(d).c_str());
+    std::printf("novalint: scanned %zu files, %zu issue(s)\n",
+                files.size(), diags.size());
+    return diags.empty() ? 0 : 1;
+}
