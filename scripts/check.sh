@@ -33,6 +33,19 @@ run_config build-san -DCMAKE_BUILD_TYPE=Debug \
 # 2. Optimized gate: the configuration benchmarks and users run.
 run_config build-rel -DCMAKE_BUILD_TYPE=RelWithDebInfo
 
+# 2b. Fault-injection soak (docs/RESILIENCE.md): differential fuzz with
+#     the full hardware fault schedule armed, several seeds, under the
+#     sanitized build — recovery paths must be memory-safe and the
+#     engines must still agree on every case.
+SOAK_FAULTS='dram.bitflip:every=40+dram.txn:every=50+cache.ecc:every=35'
+SOAK_FAULTS+='+noc.drop:every=30+noc.corrupt:every=45+noc.dup:every=55'
+SOAK_FAULTS+='+spill.corrupt:every=5+reduce.bitflip:every=25'
+echo "=== fault-injection soak (sanitized build) ==="
+for seed in 3 17 91; do
+    ./build-san/tools/nova_cli verify --fuzz=10 --seed="${seed}" \
+        --faults="${SOAK_FAULTS}"
+done
+
 # 3. Optional clang-tidy pass (mirrors the novalint rules natively
 #    expressible in clang-tidy; see .clang-tidy).
 if [[ "${CHECK_CLANG_TIDY:-0}" == "1" ]] && command -v clang-tidy >/dev/null

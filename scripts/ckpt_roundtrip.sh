@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+#
+# Fresh-process checkpoint round trip (docs/RESILIENCE.md):
+#
+#   1. Run a BSP workload to completion; record the final fingerprint.
+#   2. Re-run, checkpointing at iteration N and stopping there — this
+#      models a killed run.
+#   3. Resume from the checkpoint file in a NEW nova_cli process.
+#   4. The resumed run's full output (fingerprint line included) must be
+#      bit-identical to the uninterrupted run's.
+#
+# Usage: scripts/ckpt_roundtrip.sh <path-to-nova_cli> [workdir]
+
+set -euo pipefail
+
+CLI="$1"
+WORK="${2:-$(mktemp -d)}"
+mkdir -p "${WORK}"
+CKPT="${WORK}/roundtrip.ckpt"
+ARGS=(run --engine=nova --workload=pr --graph=uniform:260:1700 --seed=5)
+
+echo "=== uninterrupted run ==="
+"${CLI}" "${ARGS[@]}" | tee "${WORK}/whole.txt"
+
+echo "=== run killed at the iteration-3 checkpoint ==="
+"${CLI}" "${ARGS[@]}" --stop-after=3 --checkpoint-file="${CKPT}" \
+    | tee "${WORK}/stopped.txt"
+grep -q "stopped at checkpoint" "${WORK}/stopped.txt"
+test -s "${CKPT}"
+
+echo "=== resume in a fresh process ==="
+"${CLI}" "${ARGS[@]}" --resume="${CKPT}" | tee "${WORK}/resumed.txt"
+
+echo "=== compare ==="
+if ! diff "${WORK}/whole.txt" "${WORK}/resumed.txt"; then
+    echo "ckpt_roundtrip: resumed run diverged from the whole run" >&2
+    exit 1
+fi
+grep -q "validation: OK" "${WORK}/resumed.txt"
+grep -q "fingerprint: 0x" "${WORK}/resumed.txt"
+
+# Same exercise with fault injection armed: recovery state (opportunity
+# counters, rng streams) must survive the checkpoint too.
+FAULTS='dram.bitflip:every=50+noc.drop:every=40+reduce.bitflip:every=35'
+echo "=== faulted round trip ==="
+"${CLI}" "${ARGS[@]}" --faults="${FAULTS}" --fault-seed=11 \
+    | tee "${WORK}/fwhole.txt"
+"${CLI}" "${ARGS[@]}" --faults="${FAULTS}" --fault-seed=11 \
+    --stop-after=4 --checkpoint-file="${CKPT}" >/dev/null
+"${CLI}" "${ARGS[@]}" --faults="${FAULTS}" --fault-seed=11 \
+    --resume="${CKPT}" | tee "${WORK}/fresumed.txt"
+if ! diff "${WORK}/fwhole.txt" "${WORK}/fresumed.txt"; then
+    echo "ckpt_roundtrip: faulted resume diverged" >&2
+    exit 1
+fi
+grep -q "recovered" "${WORK}/fresumed.txt"
+
+echo "ckpt_roundtrip: OK"

@@ -42,12 +42,24 @@ class Mgu : public sim::ClockedObject
 
     void startup() override;
 
+    /** Entries and bursts in the pipeline (watchdog pending probe). */
+    std::uint64_t
+    pendingWork() const
+    {
+        return entries.size() + propQueue.size() + burstsInFlight;
+    }
+
     /** @{ @name Statistics */
     sim::stats::Scalar verticesPropagated;
     sim::stats::Scalar edgesRead;
     sim::stats::Scalar messagesSent;
     sim::stats::Scalar rowPtrReads;
     sim::stats::Scalar sendStalls;
+    /** @} */
+
+    /** @{ @name Checkpoint hooks (statistics; the pipeline is idle) */
+    void saveState(sim::CheckpointWriter &w) const override;
+    void restoreState(sim::CheckpointReader &r) override;
     /** @} */
 
   private:

@@ -42,10 +42,19 @@ class Mpu : public sim::ClockedObject
     /** Reset the touched set at a BSP barrier. */
     void clearTouched();
 
+    /** Messages popped but not yet reduced (watchdog pending probe). */
+    std::uint64_t pendingWork() const { return stalled ? 1 : 0; }
+
     /** @{ @name Statistics */
     sim::stats::Scalar reductions;
     sim::stats::Scalar activations;
     sim::stats::Scalar bspCoalesced;
+    sim::stats::Scalar reduceRecomputes; ///< corrupted FU results redone
+    /** @} */
+
+    /** @{ @name Checkpoint hooks (statistics; the pipeline is idle) */
+    void saveState(sim::CheckpointWriter &w) const override;
+    void restoreState(sim::CheckpointReader &r) override;
     /** @} */
 
   private:
@@ -66,6 +75,11 @@ class Mpu : public sim::ClockedObject
 
     sim::SelfEvent workEvent;
     std::optional<noc::Message> stalled;
+    sim::FaultPoint *reducePoint = nullptr; ///< "reduce.bitflip"
+
+    /** Apply reduce; a firing fault point costs a detected recompute. */
+    std::uint64_t checkedReduce(std::uint64_t into, std::uint64_t update,
+                                std::uint64_t cur);
 
     std::vector<std::uint8_t> touchedFlag;
     std::vector<VertexId> touchedList;

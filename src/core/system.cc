@@ -1,12 +1,16 @@
 #include "core/system.hh"
 
+#include <fstream>
 #include <map>
 #include <memory>
+#include <optional>
 
 #include "core/mgu.hh"
 #include "core/mpu.hh"
 #include "core/vmu.hh"
+#include "sim/checkpoint.hh"
 #include "sim/event_queue.hh"
+#include "sim/fault.hh"
 #include "sim/logging.hh"
 
 namespace nova::core
@@ -46,6 +50,19 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
     sim::EventQueue eq;
     RunCounters counters;
 
+    // The fault injector must exist before any component registers its
+    // injection points, and the schedule must be installed before that.
+    // With no schedule the injector is absent entirely, so a fault-free
+    // run is bit-identical to a build without the subsystem.
+    std::optional<sim::FaultInjector> injector;
+    if (!cfg.faultSchedule.empty()) {
+        injector.emplace(cfg.faultSeed);
+        injector->configure(cfg.faultSchedule);
+        eq.setFaultInjector(&*injector);
+    }
+    if (cfg.maxTicks > 0 || cfg.maxEvents > 0)
+        eq.setGuard(cfg.maxTicks, cfg.maxEvents);
+
     noc::NetworkConfig ncfg = cfg.net;
     ncfg.numPes = num_pes;
     ncfg.pesPerGpn = cfg.pesPerGpn;
@@ -84,7 +101,75 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
     for (auto &p : pes)
         p.mpu->startup();
 
+    // Hang supervision: progress heartbeats must advance while events
+    // execute; pending gauges must be zero whenever the queue drains.
+    // The check runs out-of-band, so arming it never perturbs the
+    // event-order fingerprint.
+    std::optional<sim::Watchdog> watchdog;
+    if (cfg.watchdogIntervalEvents > 0) {
+        watchdog.emplace(eq, cfg.watchdogIntervalEvents,
+                         static_cast<std::uint32_t>(cfg.watchdogStrikes));
+        watchdog->addProgress("messagesProcessed", [&counters] {
+            return counters.messagesProcessed;
+        });
+        watchdog->addProgress("messagesGenerated", [&counters] {
+            return counters.messagesGenerated;
+        });
+        watchdog->addProgress("memAccesses", [&pes, &edge_mems] {
+            double n = 0;
+            for (const auto &p : pes)
+                n += p.vertexMem->channel(0).numAccesses.value();
+            for (const auto &em : edge_mems)
+                for (std::uint32_t c = 0; c < em->numChannels(); ++c)
+                    n += em->channel(c).numAccesses.value();
+            return static_cast<std::uint64_t>(n);
+        });
+        watchdog->addPending("net.inFlight", [&net] {
+            return net->messagesInNetwork();
+        });
+        watchdog->addPending("vmu.pendingWork", [&pes] {
+            std::uint64_t n = 0;
+            for (const auto &p : pes)
+                n += p.vmu->pendingWork();
+            return n;
+        });
+        watchdog->addPending("mpu.stalled", [&pes] {
+            std::uint64_t n = 0;
+            for (const auto &p : pes)
+                n += p.mpu->pendingWork();
+            return n;
+        });
+        watchdog->addPending("mgu.inFlight", [&pes] {
+            std::uint64_t n = 0;
+            for (const auto &p : pes)
+                n += p.mgu->pendingWork();
+            return n;
+        });
+        watchdog->arm();
+    }
+
+    // Crash-bundle context: a PanicError escaping the run loop gets the
+    // recent-event ring and a stats snapshot written next to the replay
+    // token before the components unwind.
+    sim::crash::Scope crash_scope(&eq, [&pes, &net,
+                                        &edge_mems](std::ostream &os) {
+        net->statistics().dump(os);
+        for (const auto &em : edge_mems)
+            em->statistics().dump(os);
+        for (const auto &p : pes) {
+            p.cache->statistics().dump(os);
+            p.vertexMem->statistics().dump(os);
+            p.vmu->statistics().dump(os);
+            p.mpu->statistics().dump(os);
+            p.mgu->statistics().dump(os);
+        }
+    });
+
     const bool bsp = program.mode() == ExecMode::Bsp;
+    if (ckpt.any() && !bsp)
+        sim::fatal("checkpoint/resume needs a BSP program; ",
+                   program.name(), " runs asynchronously (its only "
+                   "quiescent point is completion)");
 
     // Pre-bucket scheduled activations (BSP level schedules).
     std::map<std::int64_t, std::vector<graph::VertexId>> schedule;
@@ -106,16 +191,156 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
             local, program.propagateValue(pes[pe].store->cur(local), v));
     };
 
-    // Initial activations: the program's explicit set plus, in BSP
-    // mode, everything scheduled for iteration 0.
-    for (const graph::VertexId v : program.initialActive())
-        inject(v);
-    if (bsp) {
-        auto it = schedule.find(0);
-        if (it != schedule.end()) {
-            for (const graph::VertexId v : it->second)
-                inject(v);
-            schedule.erase(it);
+    RunResult result;
+    std::uint64_t iter = 0;
+    std::vector<graph::VertexId> next_active;
+
+    // Checkpoints are only taken at BSP barriers: the queue is drained,
+    // no messages are in flight and no component holds a closure, so the
+    // whole state is plain data. The write happens after bspApply and
+    // before the next iteration's injection; `frontier` is the
+    // not-yet-injected activation set.
+    auto write_checkpoint =
+        // Runs synchronously at the barrier, never outlives this frame.
+        [&](std::uint64_t at_iter, // novalint:allow(capture-default)
+            const std::vector<graph::VertexId> &frontier) {
+            std::ofstream os(ckpt.path, std::ios::trunc);
+            if (!os)
+                sim::fatal("cannot write checkpoint file ", ckpt.path);
+            sim::CheckpointWriter w(os);
+            w.section("meta");
+            w.str("engine", "nova");
+            w.str("program", program.name());
+            w.u64("vertices", g.numVertices());
+            w.u64("pes", num_pes);
+            w.u64("iter", at_iter);
+            w.str("faultSchedule", cfg.faultSchedule);
+            w.u64("faultSeed", cfg.faultSeed);
+            w.section("eventq");
+            sim::Tick tick = 0;
+            std::uint64_t next_seq = 0, executed = 0, fp = 0;
+            eq.saveSchedulingState(tick, next_seq, executed, fp);
+            w.u64("tick", tick);
+            w.u64("nextSeq", next_seq);
+            w.u64("executed", executed);
+            w.u64("fingerprint", fp);
+            w.section("counters");
+            w.u64("messagesProcessed", counters.messagesProcessed);
+            w.u64("messagesGenerated", counters.messagesGenerated);
+            w.section("injector");
+            w.u64("present", injector ? 1 : 0);
+            if (injector)
+                injector->saveState(w);
+            w.section("program");
+            program.saveCheckpoint(w);
+            for (std::uint32_t pe = 0; pe < num_pes; ++pe) {
+                w.section("pe" + std::to_string(pe));
+                pes[pe].store->saveState(w);
+                pes[pe].vertexMem->saveState(w);
+                pes[pe].cache->saveState(w);
+                pes[pe].vmu->saveState(w);
+                pes[pe].mpu->saveState(w);
+                pes[pe].mgu->saveState(w);
+            }
+            for (std::uint32_t gpn = 0; gpn < cfg.numGpns; ++gpn) {
+                w.section("edgeMem" + std::to_string(gpn));
+                edge_mems[gpn]->saveState(w);
+            }
+            w.section("net");
+            net->saveState(w);
+            w.section("frontier");
+            w.u64vec("nextActive",
+                     std::vector<std::uint64_t>(frontier.begin(),
+                                                frontier.end()));
+            os.flush();
+            if (!w.good() || !os)
+                sim::fatal("writing checkpoint ", ckpt.path, " failed");
+        };
+
+    bool resume_entry = false;
+    if (!ckpt.resumePath.empty()) {
+        std::ifstream is(ckpt.resumePath);
+        if (!is)
+            sim::fatal("cannot open checkpoint ", ckpt.resumePath);
+        sim::CheckpointReader r(is);
+        r.section("meta");
+        if (r.str("engine") != "nova")
+            sim::fatal("checkpoint was not written by the nova engine");
+        const std::string prog_name = r.str("program");
+        if (prog_name != program.name())
+            sim::fatal("checkpoint belongs to program '", prog_name,
+                       "', not '", program.name(), "'");
+        if (r.u64("vertices") != g.numVertices())
+            sim::fatal("checkpoint graph size mismatch");
+        if (r.u64("pes") != num_pes)
+            sim::fatal("checkpoint PE count mismatch");
+        iter = r.u64("iter");
+        if (r.str("faultSchedule") != cfg.faultSchedule)
+            sim::fatal("checkpoint fault schedule mismatch (resume with "
+                       "the same --faults)");
+        if (r.u64("faultSeed") != cfg.faultSeed)
+            sim::fatal("checkpoint fault seed mismatch");
+        r.section("eventq");
+        const sim::Tick tick = r.u64("tick");
+        const std::uint64_t next_seq = r.u64("nextSeq");
+        const std::uint64_t executed = r.u64("executed");
+        const std::uint64_t fp = r.u64("fingerprint");
+        eq.restoreSchedulingState(tick, next_seq, executed, fp);
+        r.section("counters");
+        counters.messagesProcessed = r.u64("messagesProcessed");
+        counters.messagesGenerated = r.u64("messagesGenerated");
+        r.section("injector");
+        const bool had_injector = r.u64("present") != 0;
+        if (had_injector != injector.has_value())
+            sim::fatal("checkpoint fault configuration mismatch");
+        if (injector)
+            injector->restoreState(r);
+        r.section("program");
+        program.restoreCheckpoint(r);
+        for (std::uint32_t pe = 0; pe < num_pes; ++pe) {
+            r.section("pe" + std::to_string(pe));
+            pes[pe].store->restoreState(r);
+            pes[pe].vertexMem->restoreState(r);
+            pes[pe].cache->restoreState(r);
+            pes[pe].vmu->restoreState(r);
+            pes[pe].mpu->restoreState(r);
+            pes[pe].mgu->restoreState(r);
+        }
+        for (std::uint32_t gpn = 0; gpn < cfg.numGpns; ++gpn) {
+            r.section("edgeMem" + std::to_string(gpn));
+            edge_mems[gpn]->restoreState(r);
+        }
+        r.section("net");
+        net->restoreState(r);
+        r.section("frontier");
+        next_active.clear();
+        for (const std::uint64_t v : r.u64vec("nextActive"))
+            next_active.push_back(static_cast<graph::VertexId>(v));
+
+        // Iterations before the checkpoint already consumed their
+        // scheduled activations; the checkpoint iteration's own entry
+        // (consumed at injection, after the write) is still pending.
+        for (auto it = schedule.begin(); it != schedule.end();) {
+            if (it->first < static_cast<std::int64_t>(iter))
+                it = schedule.erase(it);
+            else
+                ++it;
+        }
+
+        result.bspIterations = iter;
+        resume_entry = true;
+    } else {
+        // Initial activations: the program's explicit set plus, in BSP
+        // mode, everything scheduled for iteration 0.
+        for (const graph::VertexId v : program.initialActive())
+            inject(v);
+        if (bsp) {
+            auto it = schedule.find(0);
+            if (it != schedule.end()) {
+                for (const graph::VertexId v : it->second)
+                    inject(v);
+                schedule.erase(it);
+            }
         }
     }
     // The MGUs pull once everything is wired; startup after injection
@@ -123,58 +348,84 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
     for (auto &p : pes)
         p.mgu->startup();
 
-    RunResult result;
-    std::uint64_t iter = 0;
-    for (;;) {
-        eq.run();
-        NOVA_ASSERT(net->messagesInNetwork() == 0,
-                    "drained with messages in flight");
-        if (!bsp)
-            break;
+    try {
+        for (;;) {
+            // A resumed run re-enters the loop at the injection step:
+            // the checkpoint was written post-barrier, pre-injection.
+            if (!resume_entry) {
+                eq.run();
+                NOVA_ASSERT(net->messagesInNetwork() == 0,
+                            "drained with messages in flight");
+                if (watchdog)
+                    watchdog->checkQuiescence();
+                if (!bsp)
+                    break;
 
-        ++iter;
-        result.bspIterations = iter;
+                ++iter;
+                result.bspIterations = iter;
 
-        // Barrier: apply the program to every touched vertex and
-        // gather next-iteration activations.
-        std::vector<graph::VertexId> next_active;
-        for (std::uint32_t pe = 0; pe < num_pes; ++pe) {
-            VertexStore &store = *pes[pe].store;
-            for (const graph::VertexId local : pes[pe].mpu->touched()) {
-                const graph::VertexId v = store.globalOf(local);
-                const workloads::BarrierOutcome out = program.bspApply(
-                    store.cur(local), store.acc(local), v);
-                store.cur(local) = out.newCur;
-                store.acc(local) = out.newAcc;
-                if (out.active)
-                    next_active.push_back(v);
+                // Barrier: apply the program to every touched vertex
+                // and gather next-iteration activations.
+                next_active.clear();
+                for (std::uint32_t pe = 0; pe < num_pes; ++pe) {
+                    VertexStore &store = *pes[pe].store;
+                    for (const graph::VertexId local :
+                         pes[pe].mpu->touched()) {
+                        const graph::VertexId v = store.globalOf(local);
+                        const workloads::BarrierOutcome out =
+                            program.bspApply(store.cur(local),
+                                             store.acc(local), v);
+                        store.cur(local) = out.newCur;
+                        store.acc(local) = out.newAcc;
+                        if (out.active)
+                            next_active.push_back(v);
+                    }
+                    pes[pe].mpu->clearTouched();
+                }
+
+                if (iter >= program.maxIterations())
+                    break;
+
+                const bool stop_here = ckpt.stopAfterIters > 0 &&
+                                       iter == ckpt.stopAfterIters;
+                if (stop_here || (ckpt.everyIters > 0 &&
+                                  iter % ckpt.everyIters == 0))
+                    write_checkpoint(iter, next_active);
+                if (stop_here) {
+                    result.stoppedAtCheckpoint = true;
+                    break;
+                }
             }
-            pes[pe].mpu->clearTouched();
-        }
+            resume_entry = false;
 
-        if (iter >= program.maxIterations())
-            break;
-
-        // Fold in this iteration's scheduled activations; skip ahead
-        // over empty iterations when only later schedules remain.
-        bool injected = false;
-        auto it = schedule.find(static_cast<std::int64_t>(iter));
-        if (it != schedule.end()) {
-            for (const graph::VertexId v : it->second) {
+            // Fold in this iteration's scheduled activations; skip
+            // ahead over empty iterations when only later schedules
+            // remain.
+            bool injected = false;
+            auto it = schedule.find(static_cast<std::int64_t>(iter));
+            if (it != schedule.end()) {
+                for (const graph::VertexId v : it->second) {
+                    inject(v);
+                    injected = true;
+                }
+                schedule.erase(it);
+            }
+            for (const graph::VertexId v : next_active) {
                 inject(v);
                 injected = true;
             }
-            schedule.erase(it);
+            if (!injected) {
+                if (schedule.empty())
+                    break;
+                continue; // later scheduled work exists; advance
+            }
         }
-        for (const graph::VertexId v : next_active) {
-            inject(v);
-            injected = true;
-        }
-        if (!injected) {
-            if (schedule.empty())
-                break;
-            continue; // later scheduled work exists; advance iterations
-        }
+    } catch (const sim::PanicError &e) {
+        // Write the crash bundle while the components (and the event
+        // queue's recent-event ring) are still alive; the CLI reports
+        // the bundle path and replay token after unwinding.
+        sim::crash::writeBundle(e.what());
+        throw;
     }
 
     // Invariants at quiescence: nothing tracked, buffered or queued.
@@ -280,6 +531,49 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
     // double-valued stats map without losing information.
     extra["sim.fingerprint"] = static_cast<double>(
         eq.fingerprint() & ((std::uint64_t(1) << 52) - 1));
+
+    // Fault-injection outcome (only when an injector was armed, so a
+    // fault-free result map is unchanged from earlier builds).
+    if (injector) {
+        double dram_ecc = 0, dram_rereads = 0, dram_txn = 0;
+        double cache_ecc = 0, scrubs = 0, recomputes = 0;
+        for (auto &p : pes) {
+            dram_ecc += p.vertexMem->channel(0).eccCorrected.value();
+            dram_rereads += p.vertexMem->channel(0).eccRereads.value();
+            dram_txn += p.vertexMem->channel(0).txnRetries.value();
+            cache_ecc += p.cache->eccCorrected.value();
+            scrubs += p.vmu->spillScrubs.value();
+            recomputes += p.mpu->reduceRecomputes.value();
+        }
+        for (auto &em : edge_mems) {
+            for (std::uint32_t c = 0; c < em->numChannels(); ++c) {
+                dram_ecc += em->channel(c).eccCorrected.value();
+                dram_rereads += em->channel(c).eccRereads.value();
+                dram_txn += em->channel(c).txnRetries.value();
+            }
+        }
+        extra["fault.injected"] =
+            static_cast<double>(injector->totalFired());
+        extra["fault.dram.eccCorrected"] = dram_ecc;
+        extra["fault.dram.eccRereads"] = dram_rereads;
+        extra["fault.dram.txnRetries"] = dram_txn;
+        extra["fault.cache.eccCorrected"] = cache_ecc;
+        extra["fault.vmu.spillScrubs"] = scrubs;
+        extra["fault.mpu.reduceRecomputes"] = recomputes;
+        extra["fault.net.flitsDropped"] = net->flitsDropped.value();
+        extra["fault.net.flitsCorrupted"] = net->flitsCorrupted.value();
+        extra["fault.net.flitsDuplicated"] = net->flitsDuplicated.value();
+        extra["fault.net.retries"] = net->retries.value();
+        extra["fault.net.retryBackoffTicks"] =
+            net->retryBackoffTicks.value();
+        extra["fault.net.duplicatesDiscarded"] =
+            net->duplicatesDiscarded.value();
+        extra["fault.net.reorders"] = net->reorders.value();
+        extra["fault.recoveries"] = dram_ecc + dram_rereads + dram_txn +
+                                    cache_ecc + scrubs + recomputes +
+                                    net->retries.value() +
+                                    net->duplicatesDiscarded.value();
+    }
     return result;
 }
 

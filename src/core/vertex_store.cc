@@ -1,5 +1,6 @@
 #include "core/vertex_store.hh"
 
+#include "sim/checkpoint.hh"
 #include "sim/logging.hh"
 
 namespace nova::core
@@ -70,6 +71,61 @@ VertexStore::setActiveNow(VertexId local, bool a)
         NOVA_ASSERT(activeInBlock[b] > 0, "active block count underflow");
         --activeInBlock[b];
     }
+}
+
+bool
+VertexStore::corruptAndScrub(VertexId local, std::uint64_t mask)
+{
+    NOVA_ASSERT(local < numLocalVerts);
+    const std::uint64_t saved = curProp[local];
+    // Actually damage the stored value, as a flipped DRAM cell would.
+    curProp[local] ^= mask;
+    // The spill slot's checksum covers the full 64-bit value, so any
+    // non-zero flip is detected; the scrubber rewrites the good copy.
+    const bool detected = curProp[local] != saved;
+    curProp[local] = saved;
+    return detected;
+}
+
+void
+VertexStore::saveState(sim::CheckpointWriter &w) const
+{
+    w.u64vec("cur", std::vector<std::uint64_t>(curProp.begin(),
+                                               curProp.end()));
+    w.u64vec("acc", std::vector<std::uint64_t>(accProp.begin(),
+                                               accProp.end()));
+    w.u64vec("activeNow", std::vector<std::uint64_t>(activeNow.begin(),
+                                                     activeNow.end()));
+    w.u64vec("inBufferCount",
+             std::vector<std::uint64_t>(inBufferCount.begin(),
+                                        inBufferCount.end()));
+    w.u64vec("activeInBlock",
+             std::vector<std::uint64_t>(activeInBlock.begin(),
+                                        activeInBlock.end()));
+}
+
+void
+VertexStore::restoreState(sim::CheckpointReader &r)
+{
+    const std::vector<std::uint64_t> cur = r.u64vec("cur");
+    const std::vector<std::uint64_t> acc = r.u64vec("acc");
+    const std::vector<std::uint64_t> act = r.u64vec("activeNow");
+    const std::vector<std::uint64_t> buf = r.u64vec("inBufferCount");
+    const std::vector<std::uint64_t> aib = r.u64vec("activeInBlock");
+    if (cur.size() != curProp.size() || acc.size() != accProp.size() ||
+        act.size() != activeNow.size() ||
+        buf.size() != inBufferCount.size() ||
+        aib.size() != activeInBlock.size())
+        sim::fatal("checkpoint vertex-store shape mismatch "
+                   "(different graph or partitioning?)");
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+        curProp[i] = cur[i];
+        accProp[i] = acc[i];
+        activeNow[i] = static_cast<std::uint8_t>(act[i]);
+        inBufferCount[i] = static_cast<std::uint8_t>(buf[i]);
+    }
+    for (std::size_t i = 0; i < aib.size(); ++i)
+        activeInBlock[i] = static_cast<std::uint16_t>(aib[i]);
 }
 
 std::uint32_t

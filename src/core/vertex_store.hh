@@ -21,6 +21,12 @@
 #include "sim/types.hh"
 #include "workloads/vertex_program.hh"
 
+namespace nova::sim
+{
+class CheckpointReader;
+class CheckpointWriter;
+} // namespace nova::sim
+
 namespace nova::core
 {
 
@@ -128,6 +134,21 @@ class VertexStore
 
     /** Global id of a local vertex. */
     VertexId globalOf(VertexId local) const { return localToGlobal[local]; }
+
+    /**
+     * Fault-injection helper: flip `mask` bits in the spilled copy of
+     * `local`'s current value, then detect the damage via the slot's
+     * checksum and scrub (restore) it — the recovery path the VMU's
+     * retrieval exercises under "spill.corrupt" faults.
+     * @return true when the corruption was detected (always, for a
+     *         non-zero mask: the checksum covers the whole slot).
+     */
+    bool corruptAndScrub(VertexId local, std::uint64_t mask);
+
+    /** @{ @name Checkpoint support (all mutable functional state) */
+    void saveState(sim::CheckpointWriter &w) const;
+    void restoreState(sim::CheckpointReader &r);
+    /** @} */
 
   private:
     std::uint32_t numLocalVerts;

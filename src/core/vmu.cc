@@ -1,5 +1,6 @@
 #include "core/vmu.hh"
 
+#include "sim/checkpoint.hh"
 #include "sim/logging.hh"
 
 namespace nova::core
@@ -23,6 +24,10 @@ Vmu::Vmu(std::string name, sim::EventQueue &queue, const NovaConfig &cfg_,
     statistics().addScalar("fifoWrites", &fifoWrites);
     statistics().addScalar("counterReconciliations",
                            &counterReconciliations);
+    statistics().addScalar("spillScrubs", &spillScrubs);
+
+    if (sim::FaultInjector *inj = queue.faultInjector())
+        spillPoint = inj->registerPoint("spill.corrupt", this->name());
 }
 
 std::uint32_t
@@ -180,6 +185,16 @@ Vmu::onBlockFetched(std::uint32_t block)
     for (VertexId v = store.blockFirst(block); v < store.blockEnd(block);
          ++v) {
         if (store.isActiveNow(v)) {
+            std::uint64_t mask = 0;
+            if (spillPoint && spillPoint->fire(&mask)) {
+                // The retrieved spill slot comes back damaged; the
+                // checksum catches it and the scrubber restores the
+                // good copy before the value is propagated.
+                const bool scrubbed = store.corruptAndScrub(v, mask);
+                NOVA_ASSERT(scrubbed,
+                            "spill-slot corruption escaped the scrubber");
+                ++spillScrubs;
+            }
             store.setActiveNow(v, false);
             directInsert(v, program.propagateValue(
                                 store.cur(v), store.globalOf(v)));
@@ -224,6 +239,46 @@ Vmu::endBurst()
     }
     scanActive = false;
     maybePrefetch();
+}
+
+void
+Vmu::saveState(sim::CheckpointWriter &w) const
+{
+    NOVA_ASSERT(buffer.empty() && fifo.empty() && !scanActive &&
+                    scanPending == 0 && reservedSlots == 0 &&
+                    !fifoFetchActive,
+                "checkpointing VMU '", name(), "' with pending work");
+    w.u64vec("counters", std::vector<std::uint64_t>(counters.begin(),
+                                                    counters.end()));
+    w.u64("totalTracked", totalTracked);
+    w.u64("cursorSb", cursorSb);
+    w.u64("scanSb", scanSb);
+    w.u64("scanBlock", scanBlock);
+    w.u64("scanResumed", scanResumed ? 1 : 0);
+    w.u64("fifoHead", fifoHead);
+    w.u64("fifoTail", fifoTail);
+    sim::saveGroupStats(w, statistics());
+}
+
+void
+Vmu::restoreState(sim::CheckpointReader &r)
+{
+    NOVA_ASSERT(buffer.empty() && fifo.empty() && !scanActive,
+                "restoring VMU '", name(), "' with pending work");
+    const std::vector<std::uint64_t> cnt = r.u64vec("counters");
+    if (cnt.size() != counters.size())
+        sim::fatal("checkpoint superblock count mismatch for '", name(),
+                   "'");
+    for (std::size_t i = 0; i < cnt.size(); ++i)
+        counters[i] = static_cast<std::uint32_t>(cnt[i]);
+    totalTracked = r.u64("totalTracked");
+    cursorSb = static_cast<std::uint32_t>(r.u64("cursorSb"));
+    scanSb = static_cast<std::uint32_t>(r.u64("scanSb"));
+    scanBlock = static_cast<std::uint32_t>(r.u64("scanBlock"));
+    scanResumed = r.u64("scanResumed") != 0;
+    fifoHead = r.u64("fifoHead");
+    fifoTail = r.u64("fifoTail");
+    sim::restoreGroupStats(r, statistics());
 }
 
 Vmu::Entry

@@ -83,6 +83,12 @@ class Vmu : public sim::SimObject
     sim::stats::Scalar activeBlocksFetched;
     sim::stats::Scalar fifoWrites;
     sim::stats::Scalar counterReconciliations;
+    sim::stats::Scalar spillScrubs; ///< corrupted spill slots scrubbed
+    /** @} */
+
+    /** @{ @name Checkpoint hooks (tracker + prefetch cursor + stats) */
+    void saveState(sim::CheckpointWriter &w) const override;
+    void restoreState(sim::CheckpointReader &r) override;
     /** @} */
 
   private:
@@ -131,6 +137,8 @@ class Vmu : public sim::SimObject
 
     /** Base address of the auxiliary FIFO region in vertex memory. */
     static constexpr sim::Addr fifoRegionBase = sim::Addr(1) << 44;
+
+    sim::FaultPoint *spillPoint = nullptr; ///< "spill.corrupt"
 };
 
 } // namespace nova::core

@@ -1,5 +1,6 @@
 #include "mem/cache.hh"
 
+#include "sim/checkpoint.hh"
 #include "sim/logging.hh"
 
 namespace nova::mem
@@ -22,6 +23,10 @@ DirectMappedCache::DirectMappedCache(std::string name,
     statistics().addScalar("evictions", &evictions);
     statistics().addScalar("writebacks", &writebacks);
     statistics().addScalar("mshrRejects", &mshrRejects);
+    statistics().addScalar("eccCorrected", &eccCorrected);
+
+    if (sim::FaultInjector *inj = queue.faultInjector())
+        eccPoint = inj->registerPoint("cache.ecc", this->name());
 }
 
 bool
@@ -41,7 +46,14 @@ DirectMappedCache::access(sim::Addr addr, bool write, MemCallback done)
     if (line.valid && line.tag == tagOf(line_addr)) {
         ++hits;
         line.dirty = line.dirty || write;
-        eventQueue().scheduleIn(cfg.hitLatency, std::move(done));
+        sim::Tick latency = cfg.hitLatency;
+        if (eccPoint && eccPoint->fire()) {
+            // Line ECC detects and corrects the flip on the read path;
+            // the correction pipeline adds a fixed delay.
+            ++eccCorrected;
+            latency = sim::tickAdd(latency, cfg.eccCorrectLatency);
+        }
+        eventQueue().scheduleIn(latency, std::move(done));
         return true;
     }
 
@@ -137,6 +149,38 @@ DirectMappedCache::postWriteback(sim::Addr victim_addr)
     // Posted write-back, retried until the channel accepts it.
     if (!mem.tryAccess(victim_addr, cfg.lineBytes, true, {}))
         mem.waitForSpace([this, victim_addr] { postWriteback(victim_addr); });
+}
+
+void
+DirectMappedCache::saveState(sim::CheckpointWriter &w) const
+{
+    NOVA_ASSERT(mshrByLine.empty() && spaceWaiters.empty() &&
+                    freeMshrs.size() == mshrs.size(),
+                "checkpointing cache '", name(), "' with outstanding misses");
+    std::vector<std::uint64_t> packed;
+    packed.reserve(lines.size());
+    for (const Line &line : lines)
+        packed.push_back((line.tag << 2) |
+                         (static_cast<std::uint64_t>(line.dirty) << 1) |
+                         static_cast<std::uint64_t>(line.valid));
+    w.u64vec("lines", packed);
+    sim::saveGroupStats(w, statistics());
+}
+
+void
+DirectMappedCache::restoreState(sim::CheckpointReader &r)
+{
+    NOVA_ASSERT(mshrByLine.empty(), "restoring cache '", name(),
+                "' with outstanding misses");
+    const std::vector<std::uint64_t> packed = r.u64vec("lines");
+    if (packed.size() != lines.size())
+        sim::fatal("checkpoint line count mismatch for '", name(), "'");
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        lines[i].valid = packed[i] & 1;
+        lines[i].dirty = (packed[i] >> 1) & 1;
+        lines[i].tag = packed[i] >> 2;
+    }
+    sim::restoreGroupStats(r, statistics());
 }
 
 void

@@ -34,6 +34,11 @@ struct CacheConfig
     sim::Tick hitLatency = 1000;
     /** Maximum outstanding misses. */
     std::uint32_t numMshrs = 16;
+    /**
+     * Extra latency when the line ECC corrects a bit error on a read
+     * (only paid when a "cache.ecc" fault fires).
+     */
+    sim::Tick eccCorrectLatency = 1000;
 };
 
 /**
@@ -86,6 +91,12 @@ class DirectMappedCache : public sim::SimObject
     sim::stats::Scalar evictions;
     sim::stats::Scalar writebacks;
     sim::stats::Scalar mshrRejects;
+    sim::stats::Scalar eccCorrected; ///< line ECC events corrected inline
+    /** @} */
+
+    /** @{ @name Checkpoint hooks (tag/valid/dirty array + stats) */
+    void saveState(sim::CheckpointWriter &w) const override;
+    void restoreState(sim::CheckpointReader &r) override;
     /** @} */
 
   private:
@@ -131,6 +142,7 @@ class DirectMappedCache : public sim::SimObject
     std::vector<std::size_t> freeMshrs;
     std::vector<std::function<void()>> spaceWaiters;
     EvictHook evictHook;
+    FaultPoint *eccPoint = nullptr; ///< "cache.ecc" (reads of valid lines)
 };
 
 } // namespace nova::mem

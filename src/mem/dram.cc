@@ -1,8 +1,10 @@
 #include "mem/dram.hh"
 
 #include <algorithm>
+#include <bit>
 #include <memory>
 
+#include "sim/checkpoint.hh"
 #include "sim/logging.hh"
 
 namespace nova::mem
@@ -97,6 +99,14 @@ DramChannel::DramChannel(std::string name, sim::EventQueue &queue,
     statistics().addScalar("busBusyTicks", &busBusyTicks);
     statistics().addScalar("totalQueueLatency", &totalQueueLatency);
     statistics().addScalar("numAccesses", &numAccesses);
+    statistics().addScalar("eccCorrected", &eccCorrected);
+    statistics().addScalar("eccRereads", &eccRereads);
+    statistics().addScalar("txnRetries", &txnRetries);
+
+    if (sim::FaultInjector *inj = queue.faultInjector()) {
+        bitflipPoint = inj->registerPoint("dram.bitflip", this->name());
+        txnPoint = inj->registerPoint("dram.txn", this->name());
+    }
 }
 
 std::uint32_t
@@ -206,8 +216,36 @@ DramChannel::issueOne()
     numAccesses += 1;
     totalQueueLatency += static_cast<double>(bus_end - req.enqueued);
 
+    // Fault injection on the data path. The returned data is always
+    // correct (data lives in the caller's functional arrays); the ECC /
+    // retry machinery is modeled as extra completion latency plus the
+    // recovery statistics, which is what the architecture pays.
+    Tick done_at = bus_end;
+    std::uint64_t mask = 0;
+    if (!req.write && bitflipPoint && bitflipPoint->fire(&mask)) {
+        if (std::popcount(mask) == 1) {
+            // SECDED corrects single-bit flips inline.
+            eccCorrected += 1;
+            done_at = sim::tickAdd(done_at, cfg.eccCorrectLatency);
+        } else {
+            // Multi-bit flip: detected-uncorrectable, recovered by a
+            // full re-read of the atom (worst-case row cycle + burst).
+            eccRereads += 1;
+            done_at = sim::tickAdd(
+                done_at, sim::tickAdd(cfg.tRowMiss, cfg.tBurst));
+        }
+    }
+    if (txnPoint && txnPoint->fire()) {
+        // Transaction error (bad CRC on the command/data link): the
+        // controller reissues the whole access.
+        txnRetries += 1;
+        done_at = sim::tickAdd(
+            done_at, sim::tickAdd(cfg.frontendLatency,
+                                  sim::tickAdd(cfg.tRowMiss, cfg.tBurst)));
+    }
+
     if (req.done)
-        eventQueue().schedule(bus_end, std::move(req.done));
+        eventQueue().schedule(done_at, std::move(req.done));
 
     nextIssueAt = t + cfg.issueGap;
     if (!queue.empty())
@@ -219,6 +257,44 @@ DramChannel::issueOne()
         spaceWaiters.erase(spaceWaiters.begin());
         eventQueue().schedule(t, std::move(waiter));
     }
+}
+
+void
+DramChannel::saveState(sim::CheckpointWriter &w) const
+{
+    NOVA_ASSERT(queue.empty() && spaceWaiters.empty() &&
+                    !issueEvent.scheduled(),
+                "checkpointing DRAM channel '", name(),
+                "' with in-flight work");
+    w.u64vec("bankReadyAt",
+             std::vector<std::uint64_t>(bankReadyAt.begin(),
+                                        bankReadyAt.end()));
+    std::vector<std::uint64_t> rows;
+    rows.reserve(openRow.size());
+    for (std::int64_t r : openRow)
+        rows.push_back(static_cast<std::uint64_t>(r));
+    w.u64vec("openRow", rows);
+    w.u64("busFreeAt", busFreeAt);
+    w.u64("nextIssueAt", nextIssueAt);
+    sim::saveGroupStats(w, statistics());
+}
+
+void
+DramChannel::restoreState(sim::CheckpointReader &r)
+{
+    NOVA_ASSERT(queue.empty(), "restoring DRAM channel '", name(),
+                "' with in-flight work");
+    const std::vector<std::uint64_t> ready = r.u64vec("bankReadyAt");
+    const std::vector<std::uint64_t> rows = r.u64vec("openRow");
+    if (ready.size() != bankReadyAt.size() || rows.size() != openRow.size())
+        sim::fatal("checkpoint bank count mismatch for '", name(), "'");
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+        bankReadyAt[i] = ready[i];
+        openRow[i] = static_cast<std::int64_t>(rows[i]);
+    }
+    busFreeAt = r.u64("busFreeAt");
+    nextIssueAt = r.u64("nextIssueAt");
+    sim::restoreGroupStats(r, statistics());
 }
 
 double
@@ -315,6 +391,20 @@ MemorySystem::waitForSpace(std::function<void()> retry)
         if (channels[i]->queued() > channels[worst]->queued())
             worst = i;
     channels[worst]->waitForSpace(std::move(retry));
+}
+
+void
+MemorySystem::saveState(sim::CheckpointWriter &w) const
+{
+    for (const DramChannel *ch : channels)
+        ch->saveState(w);
+}
+
+void
+MemorySystem::restoreState(sim::CheckpointReader &r)
+{
+    for (DramChannel *ch : channels)
+        ch->restoreState(r);
 }
 
 double

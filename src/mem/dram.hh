@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/fault.hh"
 #include "sim/sim_object.hh"
 #include "sim/types.hh"
 
@@ -25,6 +26,7 @@ namespace nova::mem
 {
 
 using sim::Addr;
+using sim::FaultPoint;
 using sim::Tick;
 
 /** Completion callback for a memory access. */
@@ -51,6 +53,11 @@ struct DramTiming
     std::size_t queueCapacity = 32;
     /** Minimum spacing between consecutive command issues. */
     Tick issueGap = 250;
+    /**
+     * Extra latency to correct a single-bit error in the SECDED logic
+     * of the controller's read path (only paid when a fault fires).
+     */
+    Tick eccCorrectLatency = 2000;
 
     /** Peak bandwidth in bytes per second. */
     double peakBytesPerSec() const;
@@ -111,10 +118,18 @@ class DramChannel : public sim::SimObject
     sim::stats::Scalar busBusyTicks;
     sim::stats::Scalar totalQueueLatency;
     sim::stats::Scalar numAccesses;
+    sim::stats::Scalar eccCorrected;     ///< single-bit flips fixed inline
+    sim::stats::Scalar eccRereads;       ///< multi-bit flips detected, re-read
+    sim::stats::Scalar txnRetries;       ///< transaction errors reissued
     /** @} */
 
     /** Achieved bandwidth over the elapsed simulated time. */
     double achievedBytesPerSec() const;
+
+    /** @{ @name Checkpoint hooks (bank/row/bus registers + stats) */
+    void saveState(sim::CheckpointWriter &w) const override;
+    void restoreState(sim::CheckpointReader &r) override;
+    /** @} */
 
   private:
     struct Request
@@ -139,6 +154,8 @@ class DramChannel : public sim::SimObject
     Tick nextIssueAt = 0;
     sim::SelfEvent issueEvent;
     std::vector<std::function<void()>> spaceWaiters;
+    FaultPoint *bitflipPoint = nullptr; ///< "dram.bitflip" (reads)
+    FaultPoint *txnPoint = nullptr;     ///< "dram.txn" (any access)
 };
 
 /**
@@ -186,6 +203,11 @@ class MemorySystem : public sim::SimObject
 
     /** Total bytes transferred (read + written). */
     double totalBytes() const;
+
+    /** @{ @name Checkpoint hooks (forwarded to every channel) */
+    void saveState(sim::CheckpointWriter &w) const override;
+    void restoreState(sim::CheckpointReader &r) override;
+    /** @} */
 
   private:
     DramChannel &channelFor(Addr addr);

@@ -1,0 +1,236 @@
+#include "sim/checkpoint.hh"
+
+#include <cstring>
+#include <map>
+
+#include "sim/logging.hh"
+
+namespace nova::sim
+{
+
+namespace
+{
+
+std::uint64_t
+doubleBits(double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+double
+bitsDouble(std::uint64_t bits)
+{
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+bool
+validKey(const std::string &key)
+{
+    if (key.empty())
+        return false;
+    for (char c : key) {
+        const bool word = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                          c == '-' || c == '[' || c == ']';
+        if (!word)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+CheckpointWriter::CheckpointWriter(std::ostream &stream) : os(stream)
+{
+    os << "novackpt 1\n";
+}
+
+void
+CheckpointWriter::section(const std::string &name)
+{
+    NOVA_ASSERT(validKey(name), "invalid checkpoint section name '", name,
+                "'");
+    os << "@" << name << "\n";
+}
+
+void
+CheckpointWriter::u64(const std::string &key, std::uint64_t value)
+{
+    NOVA_ASSERT(validKey(key), "invalid checkpoint key '", key, "'");
+    os << key << " " << value << "\n";
+}
+
+void
+CheckpointWriter::f64(const std::string &key, double value)
+{
+    NOVA_ASSERT(validKey(key), "invalid checkpoint key '", key, "'");
+    os << key << " " << doubleBits(value) << "\n";
+}
+
+void
+CheckpointWriter::str(const std::string &key, const std::string &value)
+{
+    NOVA_ASSERT(validKey(key), "invalid checkpoint key '", key, "'");
+    NOVA_ASSERT(value.find_first_of(" \t\n\r") == std::string::npos,
+                "checkpoint string value for '", key,
+                "' contains whitespace");
+    os << key << " " << (value.empty() ? "-" : value) << "\n";
+}
+
+void
+CheckpointWriter::u64vec(const std::string &key,
+                         const std::vector<std::uint64_t> &values)
+{
+    NOVA_ASSERT(validKey(key), "invalid checkpoint key '", key, "'");
+    os << key << " " << values.size();
+    for (std::uint64_t v : values)
+        os << " " << v;
+    os << "\n";
+}
+
+void
+CheckpointWriter::f64vec(const std::string &key,
+                         const std::vector<double> &values)
+{
+    NOVA_ASSERT(validKey(key), "invalid checkpoint key '", key, "'");
+    os << key << " " << values.size();
+    for (double v : values)
+        os << " " << doubleBits(v);
+    os << "\n";
+}
+
+CheckpointReader::CheckpointReader(std::istream &stream) : is(stream)
+{
+    std::string magic = word("header");
+    std::string version = word("header");
+    if (magic != "novackpt" || version != "1")
+        fatal("not a NOVA checkpoint (bad header '", magic, " ", version,
+              "')");
+}
+
+std::string
+CheckpointReader::word(const std::string &context)
+{
+    std::string w;
+    if (!(is >> w))
+        fatal("checkpoint truncated while reading ", context);
+    return w;
+}
+
+void
+CheckpointReader::expectKey(const std::string &key)
+{
+    std::string got = word("key '" + key + "'");
+    if (got != key)
+        fatal("checkpoint mismatch: expected key '", key, "', found '", got,
+              "' (file does not match this configuration?)");
+}
+
+void
+CheckpointReader::section(const std::string &name)
+{
+    std::string got = word("section '" + name + "'");
+    if (got != "@" + name)
+        fatal("checkpoint mismatch: expected section '@", name, "', found '",
+              got, "'");
+}
+
+std::uint64_t
+CheckpointReader::u64(const std::string &key)
+{
+    expectKey(key);
+    std::string v = word("value of '" + key + "'");
+    std::uint64_t out = 0;
+    try {
+        std::size_t pos = 0;
+        out = std::stoull(v, &pos);
+        if (pos != v.size())
+            fatal("checkpoint value for '", key, "' is not an integer: '", v,
+                  "'");
+    } catch (const std::invalid_argument &) {
+        fatal("checkpoint value for '", key, "' is not an integer: '", v,
+              "'");
+    } catch (const std::out_of_range &) {
+        fatal("checkpoint value for '", key, "' is out of range: '", v, "'");
+    }
+    return out;
+}
+
+double
+CheckpointReader::f64(const std::string &key)
+{
+    return bitsDouble(u64(key));
+}
+
+std::string
+CheckpointReader::str(const std::string &key)
+{
+    expectKey(key);
+    std::string v = word("value of '" + key + "'");
+    return v == "-" ? std::string() : v;
+}
+
+std::vector<std::uint64_t>
+CheckpointReader::u64vec(const std::string &key)
+{
+    std::uint64_t n = u64(key);
+    std::vector<std::uint64_t> out;
+    out.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::string v = word("element of '" + key + "'");
+        try {
+            out.push_back(std::stoull(v));
+        } catch (const std::exception &) {
+            fatal("checkpoint vector '", key, "' has bad element '", v, "'");
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+CheckpointReader::f64vec(const std::string &key)
+{
+    std::vector<std::uint64_t> bits = u64vec(key);
+    std::vector<double> out;
+    out.reserve(bits.size());
+    for (std::uint64_t b : bits)
+        out.push_back(bitsDouble(b));
+    return out;
+}
+
+void
+saveGroupStats(CheckpointWriter &w, const stats::Group &group)
+{
+    // collect() returns a std::map, so iteration order is sorted and
+    // deterministic across runs.
+    std::map<std::string, double> values;
+    group.collect(values);
+    w.u64("stats.count", values.size());
+    for (const auto &[name, value] : values)
+        w.f64(name, value);
+}
+
+void
+restoreGroupStats(CheckpointReader &r, stats::Group &group)
+{
+    std::map<std::string, stats::Scalar *> byName;
+    group.visitScalars(
+        [&byName](const std::string &name, stats::Scalar &s) {
+            byName[name] = &s;
+        });
+    std::uint64_t n = r.u64("stats.count");
+    if (n != byName.size())
+        fatal("checkpoint stat count mismatch for group '",
+              group.groupName(), "': file has ", n, ", group has ",
+              byName.size());
+    // Sorted map order matches saveGroupStats's collect() order.
+    for (auto &[name, scalar] : byName)
+        scalar->set(r.f64(name));
+}
+
+} // namespace nova::sim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Checkpoint serialization for quiescent simulation state.
+ *
+ * A checkpoint is written at a point of global quiescence (the event
+ * queue is drained, no messages are in flight), so it never has to
+ * serialize scheduled closures: the state is the functional arrays,
+ * the timing-model registers (bank readiness, cache tags, ...), the
+ * statistics counters and the event-queue ordering state (tick,
+ * sequence counter, fingerprint). Restoring into a freshly built,
+ * identically configured system and re-injecting the pending frontier
+ * resumes the run bit-for-bit (docs/RESILIENCE.md).
+ *
+ * The format is a line-oriented text stream of `key value` records.
+ * Both sides visit state in the same deterministic order, so the
+ * reader verifies every key it consumes; a mismatch means the file
+ * does not belong to this configuration and is reported via fatal().
+ */
+
+#ifndef NOVA_SIM_CHECKPOINT_HH
+#define NOVA_SIM_CHECKPOINT_HH
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace nova::sim
+{
+
+/** Writes `key value` records in visitation order. */
+class CheckpointWriter
+{
+  public:
+    explicit CheckpointWriter(std::ostream &stream);
+
+    /** Begin a named section (a comment-like structural marker). */
+    void section(const std::string &name);
+
+    void u64(const std::string &key, std::uint64_t value);
+    /** Doubles round-trip bit-exactly (stored as the raw bit pattern). */
+    void f64(const std::string &key, double value);
+    void str(const std::string &key, const std::string &value);
+    void u64vec(const std::string &key,
+                const std::vector<std::uint64_t> &values);
+    void f64vec(const std::string &key, const std::vector<double> &values);
+
+    /** True while no stream error has occurred. */
+    bool good() const { return os.good(); }
+
+  private:
+    std::ostream &os;
+};
+
+/** Reads records back, verifying keys match the write order. */
+class CheckpointReader
+{
+  public:
+    explicit CheckpointReader(std::istream &stream);
+
+    /** Consume a section marker; fatal() when it does not match. */
+    void section(const std::string &name);
+
+    std::uint64_t u64(const std::string &key);
+    double f64(const std::string &key);
+    std::string str(const std::string &key);
+    std::vector<std::uint64_t> u64vec(const std::string &key);
+    std::vector<double> f64vec(const std::string &key);
+
+  private:
+    /** Next whitespace-separated word; fatal() at end of stream. */
+    std::string word(const std::string &context);
+    void expectKey(const std::string &key);
+
+    std::istream &is;
+};
+
+/**
+ * Save every scalar of a statistics group (and its children) under
+ * dotted names, in sorted order. Values are bit-exact.
+ */
+void saveGroupStats(CheckpointWriter &w, const stats::Group &group);
+
+/** Restore scalars saved by saveGroupStats into the same group shape. */
+void restoreGroupStats(CheckpointReader &r, stats::Group &group);
+
+} // namespace nova::sim
+
+#endif // NOVA_SIM_CHECKPOINT_HH

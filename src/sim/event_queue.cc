@@ -3,16 +3,34 @@
 namespace nova::sim
 {
 
+void
+EventQueue::guardTripped(const char *which, const Item &item)
+{
+    panic("event-queue guard tripped (", which, "): next event at tick ",
+          item.when, " priority ", item.priority, " seq ", item.seq,
+          "; now=", curTick, " executed=", numExecuted,
+          " pending=", heap.size(), " guard{maxTick=", guardMaxTick,
+          ", maxEvents=", guardMaxEvents,
+          "}. The run exceeded its configured ceiling -- likely a "
+          "livelock or a missing termination condition.");
+}
+
 bool
 EventQueue::runOne()
 {
     if (heap.empty())
         return false;
+    if (guardMaxEvents && numExecuted >= guardMaxEvents)
+        guardTripped("max-events", heap.top());
+    if (guardMaxTick && heap.top().when > guardMaxTick)
+        guardTripped("max-tick", heap.top());
     // Move the closure out before popping so it may schedule new events.
     Item item = std::move(const_cast<Item &>(heap.top()));
     heap.pop();
     NOVA_ASSERT(item.when >= curTick, "event queue went backwards");
     curTick = item.when;
+    recent[numExecuted % recentCapacity] =
+        RecentEvent{item.when, item.priority, item.seq};
     ++numExecuted;
     constexpr std::uint64_t prime = 0x100000001b3ULL; // FNV-1a
     fp = (fp ^ item.when) * prime;
@@ -21,6 +39,8 @@ EventQueue::runOne()
          prime;
     fp = (fp ^ item.seq) * prime;
     item.fn();
+    if (checkEvery && numExecuted % checkEvery == 0)
+        checkFn();
     return true;
 }
 
@@ -33,6 +53,45 @@ EventQueue::run(Tick until, std::uint64_t maxEvents)
         ++count;
     }
     return count;
+}
+
+std::vector<RecentEvent>
+EventQueue::recentEvents() const
+{
+    std::vector<RecentEvent> out;
+    const std::uint64_t n =
+        numExecuted < recentCapacity ? numExecuted : recentCapacity;
+    out.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        out.push_back(recent[(numExecuted - n + i) % recentCapacity]);
+    return out;
+}
+
+void
+EventQueue::saveSchedulingState(Tick &tick, std::uint64_t &next_seq,
+                                std::uint64_t &executed_count,
+                                std::uint64_t &fingerprint_value) const
+{
+    NOVA_ASSERT(heap.empty(),
+                "saving event-queue state with events still pending");
+    tick = curTick;
+    next_seq = nextSeq;
+    executed_count = numExecuted;
+    fingerprint_value = fp;
+}
+
+void
+EventQueue::restoreSchedulingState(Tick tick, std::uint64_t next_seq,
+                                   std::uint64_t executed_count,
+                                   std::uint64_t fingerprint_value)
+{
+    NOVA_ASSERT(heap.empty(),
+                "restoring event-queue state with events still pending");
+    NOVA_ASSERT(tick >= curTick, "restored tick behind current tick");
+    curTick = tick;
+    nextSeq = next_seq;
+    numExecuted = executed_count;
+    fp = fingerprint_value;
 }
 
 } // namespace nova::sim

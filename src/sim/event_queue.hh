@@ -10,6 +10,7 @@
 #ifndef NOVA_SIM_EVENT_QUEUE_HH
 #define NOVA_SIM_EVENT_QUEUE_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -21,8 +22,18 @@
 namespace nova::sim
 {
 
+class FaultInjector;
+
 /** Default scheduling priority; lower values run first within a tick. */
 constexpr int defaultPriority = 0;
+
+/** One entry of the queue's recent-event ring (for crash bundles). */
+struct RecentEvent
+{
+    Tick when = 0;
+    int priority = 0;
+    std::uint64_t seq = 0;
+};
 
 /**
  * A time-ordered queue of closures.
@@ -93,6 +104,70 @@ class EventQueue
     std::uint64_t run(Tick until = maxTick,
                       std::uint64_t maxEvents = ~std::uint64_t(0));
 
+    /**
+     * @{ @name Runaway guards
+     * Hard ceilings on simulated time and total executed events. A run
+     * that crosses either ceiling panics with a watchdog-style diagnosis
+     * instead of spinning forever. 0 disables a ceiling (the default).
+     */
+    void
+    setGuard(Tick max_tick, std::uint64_t max_events)
+    {
+        guardMaxTick = max_tick;
+        guardMaxEvents = max_events;
+    }
+    Tick guardTick() const { return guardMaxTick; }
+    std::uint64_t guardEvents() const { return guardMaxEvents; }
+    /** @} */
+
+    /**
+     * Install an out-of-band check invoked after every `every` executed
+     * events. The callback runs outside the event stream: it is not an
+     * event, consumes no sequence number and must not schedule work, so
+     * the fingerprint is unaffected. Used by the Watchdog. `every` = 0
+     * (or a null fn) uninstalls.
+     */
+    void
+    setPeriodicCheck(std::uint64_t every, std::function<void()> fn)
+    {
+        checkEvery = fn ? every : 0;
+        checkFn = std::move(fn);
+    }
+
+    /**
+     * @{ @name Fault-injector attachment
+     * Components reach the (optional) injector through their queue so no
+     * constructor signature changes when fault injection is off. Null
+     * when no injector is attached.
+     */
+    void setFaultInjector(FaultInjector *inj) { injector = inj; }
+    FaultInjector *faultInjector() const { return injector; }
+    /** @} */
+
+    /**
+     * The last executed events, oldest first (at most recentCapacity).
+     * Recorded unconditionally; used by crash bundles and diagnoses.
+     */
+    std::vector<RecentEvent> recentEvents() const;
+
+    /** Ring capacity of the recent-event log. */
+    static constexpr std::size_t recentCapacity = 64;
+
+    /**
+     * @{ @name Checkpoint support
+     * The scheduling state that must survive a checkpoint: current tick,
+     * the next sequence number, the executed-event count and the order
+     * fingerprint. Only valid at quiescence (empty queue); restoring
+     * into a non-empty queue is a bug.
+     */
+    void saveSchedulingState(Tick &tick, std::uint64_t &next_seq,
+                             std::uint64_t &executed_count,
+                             std::uint64_t &fingerprint_value) const;
+    void restoreSchedulingState(Tick tick, std::uint64_t next_seq,
+                                std::uint64_t executed_count,
+                                std::uint64_t fingerprint_value);
+    /** @} */
+
   private:
     struct Item
     {
@@ -115,11 +190,20 @@ class EventQueue
         }
     };
 
+    [[noreturn]] void guardTripped(const char *which, const Item &item);
+
     std::priority_queue<Item, std::vector<Item>, Later> heap;
     Tick curTick = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t numExecuted = 0;
     std::uint64_t fp = 0xcbf29ce484222325ULL; // FNV-1a offset basis
+
+    Tick guardMaxTick = 0;
+    std::uint64_t guardMaxEvents = 0;
+    std::uint64_t checkEvery = 0;
+    std::function<void()> checkFn;
+    FaultInjector *injector = nullptr;
+    std::array<RecentEvent, recentCapacity> recent{};
 };
 
 /**

@@ -78,6 +78,22 @@ Group::collect(std::map<std::string, double> &out,
         child->collect(out, base);
 }
 
+void
+Group::visitScalars(
+    const std::function<void(const std::string &, Scalar &)> &fn,
+    const std::string &prefix)
+{
+    const std::string base =
+        prefix.empty() ? name : (name.empty() ? prefix : prefix + "." + name);
+    for (auto &[stat_name, scalar] : scalars) {
+        const std::string full =
+            base.empty() ? stat_name : base + "." + stat_name;
+        fn(full, *scalar);
+    }
+    for (Group *child : children)
+        child->visitScalars(fn, base);
+}
+
 double
 Group::get(const std::string &path) const
 {

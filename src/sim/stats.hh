@@ -10,6 +10,7 @@
 #define NOVA_SIM_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <ostream>
 #include <string>
@@ -101,6 +102,15 @@ class Group
     /** Flatten all scalars into `out` with dotted names. */
     void collect(std::map<std::string, double> &out,
                  const std::string &prefix = "") const;
+
+    /**
+     * Visit every registered scalar mutably with its dotted name,
+     * recursing into children. Used by checkpoint restore to write
+     * saved counter values back into live components.
+     */
+    void visitScalars(
+        const std::function<void(const std::string &, Scalar &)> &fn,
+        const std::string &prefix = "");
 
     /** Pretty-print all statistics. */
     void dump(std::ostream &os) const;

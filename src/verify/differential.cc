@@ -130,10 +130,22 @@ class CorruptedProgram : public VertexProgram
            std::uint64_t cur) const override
     {
         std::uint64_t result = inner.reduce(state, update, cur);
-        if (fault.enabled && reduceCalls++ == fault.afterReduces)
-            result ^= fault.xorMask;
+        if (fault.enabled && reduceCalls++ == fault.afterReduces) {
+            const std::uint64_t corrupted = result ^ fault.xorMask;
+            if (!fault.recover)
+                return corrupted;
+            // Recovered mode: the FU result checksum flags the damaged
+            // value and the reduction is recomputed — model of a
+            // detect-and-retry functional unit. A zero mask would be
+            // undetectable, but the parser guarantees mask != 0.
+            if (corrupted != result)
+                ++nRecovered;
+        }
         return result;
     }
+
+    /** Faults detected and recovered inside this run. */
+    std::uint64_t recoveries() const { return nRecovered; }
 
     bool
     activates(std::uint64_t old_state,
@@ -170,6 +182,7 @@ class CorruptedProgram : public VertexProgram
     VertexProgram &inner;
     FaultSpec fault;
     mutable std::uint64_t reduceCalls = 0;
+    mutable std::uint64_t nRecovered = 0;
 };
 
 /**
@@ -180,7 +193,8 @@ class CorruptedProgram : public VertexProgram
  * replay relies on.
  */
 std::unique_ptr<GraphEngine>
-makeEngine(EngineKind kind, std::uint64_t index, std::uint32_t &parts)
+makeEngine(EngineKind kind, std::uint64_t seed, std::uint64_t index,
+           const DiffOptions &opt, std::uint32_t &parts)
 {
     switch (kind) {
       case EngineKind::Nova: {
@@ -190,6 +204,11 @@ makeEngine(EngineKind kind, std::uint64_t index, std::uint32_t &parts)
         cfg.activeBufferEntries = 16;
         if (index % 2 == 1)
             cfg.numGpns = 2;
+        // Hardware fault injection (recovered faults only): the seed is
+        // a pure function of (seed, index) so replays are bit-exact.
+        cfg.faultSchedule = opt.faultSchedule;
+        cfg.faultSeed =
+            seed ^ (index * 0x9e3779b97f4a7c15ULL) ^ 0xfa0175eedULL;
         parts = cfg.totalPes();
         return std::make_unique<core::NovaSystem>(cfg);
       }
@@ -264,8 +283,29 @@ describePrMismatches(const std::vector<double> &got,
     return detail;
 }
 
-/** Run one engine × algorithm; empty string means agreement. */
-std::string
+/** FNV-1a over the final property vector (determinism record). */
+std::uint64_t
+propsFingerprint(const std::vector<std::uint64_t> &props)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const std::uint64_t p : props) {
+        for (unsigned byte = 0; byte < 8; ++byte) {
+            h ^= (p >> (byte * 8)) & 0xFF;
+            h *= 0x100000001b3ULL;
+        }
+    }
+    return h;
+}
+
+/** What one engine × algorithm run produced. */
+struct SingleOutcome
+{
+    /** Mismatch description; empty means agreement with the reference. */
+    std::string detail;
+    RunRecord record;
+};
+
+SingleOutcome
 runSingle(const FuzzedGraph &fuzzed, Algo algo, EngineKind kind,
           std::uint64_t seed, std::uint64_t index,
           const DiffOptions &opt)
@@ -279,45 +319,67 @@ runSingle(const FuzzedGraph &fuzzed, Algo algo, EngineKind kind,
     const VertexId src = fuzzed.source;
 
     std::uint32_t parts = 1;
-    auto engine = makeEngine(kind, index, parts);
+    auto engine = makeEngine(kind, seed, index, opt, parts);
     const auto map = graph::randomMapping(g.numVertices(), parts,
                                           mappingSeed(seed, index));
 
+    SingleOutcome out;
+    out.record.algo = algo;
+    out.record.engine = kind;
+
     auto execute = [&](VertexProgram &program) {
+        RunResult r;
         if (opt.fault.enabled) {
             CorruptedProgram corrupted(program, opt.fault);
-            return engine->run(corrupted, g, map);
+            r = engine->run(corrupted, g, map);
+            out.record.recoveries += corrupted.recoveries();
+        } else {
+            r = engine->run(program, g, map);
         }
-        return engine->run(program, g, map);
+        out.record.fingerprint = propsFingerprint(r.props);
+        const auto fp_it = r.extra.find("sim.fingerprint");
+        if (fp_it != r.extra.end())
+            out.record.fingerprint ^=
+                static_cast<std::uint64_t>(fp_it->second);
+        const auto rec_it = r.extra.find("fault.recoveries");
+        if (rec_it != r.extra.end())
+            out.record.recoveries +=
+                static_cast<std::uint64_t>(rec_it->second);
+        return r;
     };
 
     switch (algo) {
       case Algo::Bfs: {
         workloads::BfsProgram prog(src);
         const RunResult r = execute(prog);
-        return describeExactMismatches(r.props, ref::bfsDepths(g, src),
-                                       opt.maxReportedVertices);
+        out.detail = describeExactMismatches(r.props,
+                                             ref::bfsDepths(g, src),
+                                             opt.maxReportedVertices);
+        return out;
       }
       case Algo::Sssp: {
         workloads::SsspProgram prog(src);
         const RunResult r = execute(prog);
-        return describeExactMismatches(r.props,
-                                       ref::ssspDistances(g, src),
-                                       opt.maxReportedVertices);
+        out.detail = describeExactMismatches(r.props,
+                                             ref::ssspDistances(g, src),
+                                             opt.maxReportedVertices);
+        return out;
       }
       case Algo::Cc: {
         workloads::CcProgram prog;
         const RunResult r = execute(prog);
-        return describeExactMismatches(r.props, ref::ccLabels(g),
-                                       opt.maxReportedVertices);
+        out.detail = describeExactMismatches(r.props, ref::ccLabels(g),
+                                             opt.maxReportedVertices);
+        return out;
       }
       case Algo::Pr: {
         workloads::PageRankProgram prog(0.85, 1e-11, 8);
         execute(prog);
         const auto want = ref::pagerankDelta(g, 0.85, 1e-11, 8);
-        return describePrMismatches(prog.rank(), want, opt.prAbsTol,
-                                    opt.prRelTol,
-                                    opt.maxReportedVertices);
+        out.detail = describePrMismatches(prog.rank(), want, opt.prAbsTol,
+                                          opt.prRelTol,
+                                          opt.maxReportedVertices);
+        return out;
       }
     }
     sim::panic("bad algorithm");
@@ -338,16 +400,18 @@ runCase(std::uint64_t seed, std::uint64_t index, const DiffOptions &opt)
     for (const Algo algo : opt.algos) {
         for (const EngineKind kind : opt.engines) {
             ++out.runsExecuted;
-            std::string detail =
+            SingleOutcome single =
                 runSingle(fuzzed, algo, kind, seed, index, opt);
-            if (detail.empty())
+            out.runs.push_back(single.record);
+            if (single.detail.empty())
                 continue;
             Divergence d;
             d.algo = algo;
             d.engine = kind;
-            d.detail = std::move(detail);
-            d.replayToken = encodeReplayToken(
-                {seed, index, algo, kind, opt.fuzzer, opt.fault});
+            d.detail = std::move(single.detail);
+            d.replayToken = encodeReplayToken({seed, index, algo, kind,
+                                               opt.fuzzer, opt.fault,
+                                               opt.faultSchedule});
             out.divergences.push_back(std::move(d));
         }
     }

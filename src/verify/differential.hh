@@ -64,6 +64,14 @@ struct FaultSpec
     std::uint64_t afterReduces = 0;
     /** Bits flipped into that call's result. */
     std::uint64_t xorMask = 1;
+    /**
+     * Recovered mode: the corruption is detected (the FU result
+     * checksum model) and the good value recomputed, so results must
+     * still match the reference and the recovery is counted instead.
+     * This is the engine-agnostic fault path — it exercises recovery on
+     * PolyGraph and Ligra, which have no event-driven hardware model.
+     */
+    bool recover = false;
 };
 
 /** Options of a differential run. */
@@ -75,6 +83,14 @@ struct DiffOptions
                                        EngineKind::Ligra};
     FuzzerConfig fuzzer;
     FaultSpec fault;
+    /**
+     * Hardware fault schedule (sim/fault.hh grammar) armed inside the
+     * NOVA engine. The fault seed is derived deterministically from
+     * (seed, index), so recovered runs replay bit-exactly. Engines
+     * without a hardware model (PolyGraph, Ligra) ignore it; use
+     * FaultSpec::recover to fault those.
+     */
+    std::string faultSchedule;
     /** PageRank comparison tolerance: |got - want| <= abs + rel*want. */
     double prAbsTol = 1e-9;
     double prRelTol = 1e-6;
@@ -93,6 +109,21 @@ struct Divergence
     std::string replayToken;
 };
 
+/**
+ * The determinism record of one engine × algorithm run: a content hash
+ * of the final properties folded with the engine's event-order
+ * fingerprint (when it has one), plus the number of faults the run
+ * detected and recovered from. Two replays of the same token must
+ * produce identical records bit for bit.
+ */
+struct RunRecord
+{
+    Algo algo = Algo::Bfs;
+    EngineKind engine = EngineKind::Nova;
+    std::uint64_t fingerprint = 0;
+    std::uint64_t recoveries = 0;
+};
+
 /** The outcome of one fuzz case across all engines and algorithms. */
 struct CaseOutcome
 {
@@ -102,6 +133,8 @@ struct CaseOutcome
     /** Engine × algorithm runs executed for this case. */
     std::uint64_t runsExecuted = 0;
     std::vector<Divergence> divergences;
+    /** One record per executed run, in execution order. */
+    std::vector<RunRecord> runs;
 
     bool ok() const { return divergences.empty(); }
 };

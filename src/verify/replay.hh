@@ -12,7 +12,14 @@
  *
  * Format (version 1, all integers in their natural base):
  *   NV1.s<seed:hex>.i<index>.<algo>.<engine>.v<maxV>.e<maxE>
- *       [.f<afterReduces>x<xorMask:hex>]
+ *       [.f<afterReduces>x<xorMask:hex> | .r<afterReduces>x<xorMask:hex>]
+ *       [.S<fault-schedule>]
+ *
+ * 'f' is an unrecovered reduce corruption (must diverge), 'r' the
+ * recovered variant (must NOT diverge, counts a recovery). The '.S'
+ * suffix carries a hardware fault schedule (sim/fault.hh grammar)
+ * verbatim; it is always the last field and may itself contain dots,
+ * so parsing splits it off at the first ".S" occurrence.
  */
 
 #ifndef NOVA_VERIFY_REPLAY_HH
@@ -34,6 +41,8 @@ struct ReplayCase
     EngineKind engine = EngineKind::Nova;
     FuzzerConfig fuzzer;
     FaultSpec fault;
+    /** Hardware fault schedule armed in the NOVA engine (may be empty). */
+    std::string faultSchedule;
 };
 
 /** Serialize to the one-word token. */

@@ -1,0 +1,25 @@
+// Fixture: silent-catch violations.
+
+#include <stdexcept>
+
+int
+swallowsEverything(int x)
+{
+    try {
+        if (x < 0)
+            throw std::runtime_error("negative");
+    } catch (...) { // marker: catch-all swallow
+        x = 0;
+    }
+    return x;
+}
+
+void
+emptyHandler(int x)
+{
+    try {
+        if (x < 0)
+            throw std::runtime_error("negative");
+    } catch (const std::exception &e) { // marker: empty typed handler
+    }
+}

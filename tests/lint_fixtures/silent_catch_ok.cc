@@ -1,0 +1,38 @@
+// Fixture: compliant exception handling.
+
+#include <cstdio>
+#include <stdexcept>
+
+int
+handlesAndRethrows(int x)
+{
+    // A typed catch with real handling is fine.
+    try {
+        if (x < 0)
+            throw std::runtime_error("negative");
+    } catch (const std::runtime_error &e) {
+        std::puts(e.what());
+        x = 0;
+    }
+
+    // catch (...) is fine when it rethrows after cleanup.
+    try {
+        if (x > 100)
+            throw std::logic_error("too big");
+    } catch (...) {
+        std::puts("cleaning up");
+        throw;
+    }
+    return x;
+}
+
+void
+suppressedSwallow(int x)
+{
+    try {
+        if (x < 0)
+            throw std::runtime_error("negative");
+    } catch (...) { // novalint:allow(silent-catch)
+        std::puts("last-resort boundary");
+    }
+}

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Checkpoint/restore round trips: a run stopped at a BSP-barrier
+ * checkpoint and resumed into a fresh NovaSystem must finish with
+ * bit-identical properties, statistics and event-order fingerprint to
+ * an uninterrupted run — with and without fault injection armed. Plus
+ * rejection paths: async programs, corrupt files and mismatched
+ * configurations. (scripts/ckpt_roundtrip.sh repeats the round trip
+ * across two separate nova_cli processes.)
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/system.hh"
+#include "graph/generators.hh"
+#include "graph/partition.hh"
+#include "workloads/programs.hh"
+#include "workloads/reference.hh"
+
+using namespace nova;
+using graph::VertexId;
+
+namespace
+{
+
+graph::Csr
+testGraph(VertexId vertices = 220, std::uint64_t edges = 1400)
+{
+    graph::UniformParams p;
+    p.numVertices = vertices;
+    p.numEdges = edges;
+    p.maxWeight = 32;
+    p.seed = 13;
+    return graph::generateUniform(p);
+}
+
+core::NovaConfig
+smallConfig()
+{
+    core::NovaConfig cfg;
+    cfg.pesPerGpn = 4;
+    cfg.cacheBytesPerPe = 512;
+    cfg.activeBufferEntries = 16;
+    return cfg;
+}
+
+/** Run PageRank with a checkpoint policy; returns result + ranks. */
+struct PrRun
+{
+    workloads::RunResult result;
+    std::vector<double> rank;
+};
+
+PrRun
+runPr(const graph::Csr &g, const core::CheckpointPolicy &policy,
+      const std::string &fault_schedule = "")
+{
+    core::NovaConfig cfg = smallConfig();
+    cfg.faultSchedule = fault_schedule;
+    cfg.faultSeed = 3;
+    core::NovaSystem sys(cfg);
+    sys.setCheckpointPolicy(policy);
+    const auto map = graph::randomMapping(g.numVertices(), 4, 9);
+    workloads::PageRankProgram prog(0.85, 1e-11, 8);
+    PrRun r;
+    r.result = sys.run(prog, g, map);
+    r.rank = prog.rank();
+    return r;
+}
+
+/** Every field that must survive the round trip, compared exactly. */
+void
+expectIdenticalOutcome(const PrRun &want, const PrRun &got)
+{
+    EXPECT_EQ(want.result.props, got.result.props);
+    EXPECT_EQ(want.result.ticks, got.result.ticks);
+    EXPECT_EQ(want.result.messagesProcessed,
+              got.result.messagesProcessed);
+    EXPECT_EQ(want.result.messagesGenerated,
+              got.result.messagesGenerated);
+    EXPECT_EQ(want.result.coalescedUpdates, got.result.coalescedUpdates);
+    EXPECT_EQ(want.result.bspIterations, got.result.bspIterations);
+    EXPECT_EQ(want.result.extra, got.result.extra);
+    ASSERT_EQ(want.rank.size(), got.rank.size());
+    for (std::size_t v = 0; v < want.rank.size(); ++v)
+        EXPECT_EQ(want.rank[v], got.rank[v]) << "rank of vertex " << v;
+}
+
+struct ScopedFile
+{
+    explicit ScopedFile(std::string p) : path(std::move(p))
+    {
+        std::remove(path.c_str());
+    }
+    ~ScopedFile() { std::remove(path.c_str()); }
+    std::string path;
+};
+
+} // namespace
+
+TEST(Checkpoint, RoundTripBitIdentical)
+{
+    const graph::Csr g = testGraph();
+    ScopedFile ckpt("test_ckpt_roundtrip.ckpt");
+
+    const PrRun whole = runPr(g, {});
+
+    core::CheckpointPolicy stop;
+    stop.stopAfterIters = 3;
+    stop.path = ckpt.path;
+    const PrRun first = runPr(g, stop);
+    EXPECT_TRUE(first.result.stoppedAtCheckpoint);
+    EXPECT_EQ(first.result.bspIterations, 3u);
+
+    core::CheckpointPolicy resume;
+    resume.resumePath = ckpt.path;
+    const PrRun second = runPr(g, resume);
+    EXPECT_FALSE(second.result.stoppedAtCheckpoint);
+    expectIdenticalOutcome(whole, second);
+}
+
+TEST(Checkpoint, RoundTripBitIdenticalUnderFaults)
+{
+    const graph::Csr g = testGraph();
+    ScopedFile ckpt("test_ckpt_faulted.ckpt");
+    const std::string faults =
+        "dram.bitflip:every=45+noc.drop:every=35+reduce.bitflip:every=30";
+
+    const PrRun whole = runPr(g, {}, faults);
+    EXPECT_GT(whole.result.extra.at("fault.recoveries"), 0);
+
+    core::CheckpointPolicy stop;
+    stop.stopAfterIters = 4;
+    stop.path = ckpt.path;
+    const PrRun first = runPr(g, stop, faults);
+    EXPECT_TRUE(first.result.stoppedAtCheckpoint);
+
+    core::CheckpointPolicy resume;
+    resume.resumePath = ckpt.path;
+    const PrRun second = runPr(g, resume, faults);
+    expectIdenticalOutcome(whole, second);
+}
+
+TEST(Checkpoint, PeriodicCheckpointsDoNotPerturbTheRun)
+{
+    const graph::Csr g = testGraph();
+    ScopedFile ckpt("test_ckpt_periodic.ckpt");
+
+    const PrRun plain = runPr(g, {});
+
+    core::CheckpointPolicy periodic;
+    periodic.everyIters = 2;
+    periodic.path = ckpt.path;
+    const PrRun with = runPr(g, periodic);
+
+    expectIdenticalOutcome(plain, with);
+    std::ifstream in(ckpt.path);
+    EXPECT_TRUE(in.good()) << "no checkpoint was written";
+}
+
+TEST(Checkpoint, ResumeFromLastPeriodicCheckpoint)
+{
+    const graph::Csr g = testGraph();
+    ScopedFile ckpt("test_ckpt_periodic_resume.ckpt");
+
+    const PrRun whole = runPr(g, {});
+
+    // Write checkpoints as the run goes; the file left behind is the
+    // last one (iteration 6 of 8). Resuming it must still converge to
+    // the identical result.
+    core::CheckpointPolicy periodic;
+    periodic.everyIters = 3;
+    periodic.path = ckpt.path;
+    runPr(g, periodic);
+
+    core::CheckpointPolicy resume;
+    resume.resumePath = ckpt.path;
+    const PrRun resumed = runPr(g, resume);
+    expectIdenticalOutcome(whole, resumed);
+}
+
+TEST(Checkpoint, AsyncProgramsCannotCheckpoint)
+{
+    const graph::Csr g = testGraph();
+    core::NovaConfig cfg = smallConfig();
+    core::NovaSystem sys(cfg);
+    core::CheckpointPolicy policy;
+    policy.everyIters = 1;
+    policy.path = "test_ckpt_async.ckpt";
+    sys.setCheckpointPolicy(policy);
+    const auto map = graph::randomMapping(g.numVertices(), 4, 9);
+    workloads::SsspProgram prog(0); // async: no barrier to checkpoint at
+    EXPECT_THROW(sys.run(prog, g, map), sim::FatalError);
+}
+
+TEST(Checkpoint, CorruptFileRejected)
+{
+    const graph::Csr g = testGraph();
+    ScopedFile ckpt("test_ckpt_corrupt.ckpt");
+    {
+        std::ofstream os(ckpt.path);
+        os << "not a checkpoint at all\n";
+    }
+    core::CheckpointPolicy resume;
+    resume.resumePath = ckpt.path;
+    EXPECT_THROW(runPr(g, resume), sim::FatalError);
+}
+
+TEST(Checkpoint, MissingFileRejected)
+{
+    const graph::Csr g = testGraph();
+    core::CheckpointPolicy resume;
+    resume.resumePath = "test_ckpt_does_not_exist.ckpt";
+    EXPECT_THROW(runPr(g, resume), sim::FatalError);
+}
+
+TEST(Checkpoint, MismatchedGraphRejected)
+{
+    ScopedFile ckpt("test_ckpt_mismatch.ckpt");
+    core::CheckpointPolicy stop;
+    stop.stopAfterIters = 2;
+    stop.path = ckpt.path;
+    runPr(testGraph(), stop);
+
+    // Same program, different graph: the shape check must refuse.
+    core::CheckpointPolicy resume;
+    resume.resumePath = ckpt.path;
+    EXPECT_THROW(runPr(testGraph(150, 900), resume), sim::FatalError);
+}

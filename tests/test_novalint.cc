@@ -198,6 +198,42 @@ TEST(NovaLint, IncludeGuardClean)
     expectClean({"include_guard_ok.hh"});
 }
 
+TEST(NovaLint, SilentCatchFires)
+{
+    const std::string text = readFixture("silent_catch_bad.cc");
+    const auto diags = lintFiles({{"silent_catch_bad.cc", text}});
+    ASSERT_EQ(diags.size(), 2u);
+    EXPECT_EQ(diags[0].rule, "silent-catch");
+    EXPECT_EQ(diags[0].line, lineOf(text, "catch (...)"));
+    EXPECT_NE(diags[0].message.find("catch (...)"), std::string::npos);
+    EXPECT_EQ(diags[1].rule, "silent-catch");
+    EXPECT_EQ(diags[1].line, lineOf(text, "catch (const std::exception"));
+    EXPECT_NE(diags[1].message.find("empty catch body"),
+              std::string::npos);
+}
+
+TEST(NovaLint, SilentCatchClean)
+{
+    expectClean({"silent_catch_ok.cc"});
+}
+
+TEST(NovaLint, SilentCatchCatchAllWithRethrowIsFine)
+{
+    const SourceFile f{
+        "inline.cc",
+        "void f() {\n"
+        "    try {\n"
+        "        g();\n"
+        "    } catch (...) {\n"
+        "        cleanup();\n"
+        "        throw;\n"
+        "    }\n"
+        "}\n"};
+    const auto diags = lintFiles({f});
+    for (const Diagnostic &d : diags)
+        ADD_FAILURE() << nova::lint::formatDiagnostic(d);
+}
+
 TEST(NovaLint, SuppressionSameAndPreviousLine)
 {
     expectClean({"suppress.cc"});
@@ -249,7 +285,8 @@ TEST(NovaLint, RuleCatalogComplete)
     const std::vector<std::string> required = {
         "capture-default", "unordered-iteration", "wall-clock", "raw-new",
         "tick-arith",      "unregistered-stat",   "using-namespace-std",
-        "virtual-dtor",    "assert-side-effect",  "include-guard"};
+        "virtual-dtor",    "assert-side-effect",  "include-guard",
+        "silent-catch"};
     for (const std::string &expected : required) {
         EXPECT_NE(std::find(names.begin(), names.end(), expected),
                   names.end())

@@ -24,6 +24,22 @@
  *   --no-validate    skip the reference check
  *   --stats          dump all engine statistics
  *
+ * Resilience (nova engine only; see docs/RESILIENCE.md):
+ *   --faults=<schedule>   fault schedule (sim/fault.hh grammar)
+ *   --fault-seed=<n>      fault-probability RNG seed        [0]
+ *   --max-ticks=<n>       abort if simulated time passes n  [off]
+ *   --max-events=<n>      abort after n events              [off]
+ *   --watchdog=<n>        progress check every n events     [off]
+ *   --checkpoint-every=<n> checkpoint every n BSP iterations
+ *   --checkpoint-file=<p> checkpoint path              [nova.ckpt]
+ *   --resume=<p>          restore state from a checkpoint file
+ *   --stop-after=<n>      checkpoint after iteration n and stop
+ *   --crash-bundle=<p>    crash-bundle path       [nova_crash.txt]
+ *
+ * Exit codes: 0 success, 1 user error (FatalError, bad flags,
+ * validation mismatch), 2 simulator bug (PanicError; a crash bundle
+ * with a replay line is left behind).
+ *
  * Differential fuzzing subcommand (see docs/VERIFICATION.md):
  *
  *   nova_cli verify --fuzz=200 --seed=1
@@ -37,6 +53,9 @@
  *   --max-v=<N>      fuzzer vertex bound               [256]
  *   --max-e=<N>      fuzzer edge bound                 [2048]
  *   --inject-fault=<AFTER>[:<MASK-hex>]  corrupt the AFTER-th reduce
+ *   --inject-recovered=<AFTER>[:<MASK-hex>]  recovered variant (must
+ *                    NOT diverge; counted as a recovery)
+ *   --faults=<schedule>  hardware fault schedule inside NOVA runs
  *   --replay=<tok>   re-run one recorded failing case
  *   --verbose        print every case as it runs
  */
@@ -54,6 +73,8 @@
 #include "baselines/polygraph.hh"
 #include "core/system.hh"
 #include "graph/generators.hh"
+#include "sim/fault.hh"
+#include "sim/logging.hh"
 #include "graph/graph_stats.hh"
 #include "graph/io.hh"
 #include "graph/partition.hh"
@@ -85,6 +106,26 @@ struct CliOptions
     std::uint64_t seed = 1;
     bool validate = true;
     bool dumpStats = false;
+
+    // Resilience flags (nova engine only).
+    std::string faultSchedule;
+    std::uint64_t faultSeed = 0;
+    std::uint64_t maxTicks = 0;
+    std::uint64_t maxEvents = 0;
+    std::uint64_t watchdogEvents = 0;
+    std::uint64_t checkpointEvery = 0;
+    std::string checkpointFile = "nova.ckpt";
+    std::string resumeFile;
+    std::uint64_t stopAfter = 0;
+    std::string crashBundle;
+
+    bool
+    usesResilience() const
+    {
+        return !faultSchedule.empty() || maxTicks > 0 || maxEvents > 0 ||
+               watchdogEvents > 0 || checkpointEvery > 0 ||
+               !resumeFile.empty() || stopAfter > 0;
+    }
 };
 
 bool
@@ -96,6 +137,19 @@ takeValue(const char *arg, const char *key, std::string &out)
         return true;
     }
     return false;
+}
+
+/** Parse a full numeric option value or die with a usage error. */
+std::uint64_t
+parseU64(const std::string &text, const char *what, int base = 10)
+{
+    std::uint64_t value = 0;
+    const char *first = text.c_str();
+    const char *last = first + text.size();
+    const auto [ptr, ec] = std::from_chars(first, last, value, base);
+    if (ec != std::errc() || ptr != last || text.empty())
+        sim::fatal("bad value '", text, "' for ", what);
+    return value;
 }
 
 CliOptions
@@ -127,6 +181,23 @@ parseArgs(int argc, char **argv)
             o.src = std::atoll(v.c_str());
         else if (takeValue(a, "--seed=", v))
             o.seed = static_cast<std::uint64_t>(std::atoll(v.c_str()));
+        else if (takeValue(a, "--faults=", o.faultSchedule) ||
+                 takeValue(a, "--checkpoint-file=", o.checkpointFile) ||
+                 takeValue(a, "--resume=", o.resumeFile) ||
+                 takeValue(a, "--crash-bundle=", o.crashBundle))
+            continue;
+        else if (takeValue(a, "--fault-seed=", v))
+            o.faultSeed = parseU64(v, "--fault-seed");
+        else if (takeValue(a, "--max-ticks=", v))
+            o.maxTicks = parseU64(v, "--max-ticks");
+        else if (takeValue(a, "--max-events=", v))
+            o.maxEvents = parseU64(v, "--max-events");
+        else if (takeValue(a, "--watchdog=", v))
+            o.watchdogEvents = parseU64(v, "--watchdog");
+        else if (takeValue(a, "--checkpoint-every=", v))
+            o.checkpointEvery = parseU64(v, "--checkpoint-every");
+        else if (takeValue(a, "--stop-after=", v))
+            o.stopAfter = parseU64(v, "--stop-after");
         else if (std::strcmp(a, "--no-validate") == 0)
             o.validate = false;
         else if (std::strcmp(a, "--stats") == 0)
@@ -203,8 +274,29 @@ makeEngine(const CliOptions &o)
             cfg.fabric = noc::FabricKind::Ideal;
         else if (o.fabric == "p2p")
             cfg.fabric = noc::FabricKind::PointToPoint;
-        return std::make_unique<core::NovaSystem>(cfg);
+        cfg.faultSchedule = o.faultSchedule;
+        cfg.faultSeed = o.faultSeed;
+        cfg.maxTicks = o.maxTicks;
+        cfg.maxEvents = o.maxEvents;
+        cfg.watchdogIntervalEvents = o.watchdogEvents;
+        if (!o.faultSchedule.empty()) {
+            const std::string err =
+                sim::FaultInjector::validateSchedule(o.faultSchedule);
+            if (!err.empty())
+                sim::fatal("bad --faults schedule: ", err);
+        }
+        auto system = std::make_unique<core::NovaSystem>(cfg);
+        core::CheckpointPolicy ckpt;
+        ckpt.everyIters = o.checkpointEvery;
+        ckpt.path = o.checkpointFile;
+        ckpt.resumePath = o.resumeFile;
+        ckpt.stopAfterIters = o.stopAfter;
+        system->setCheckpointPolicy(ckpt);
+        return system;
     }
+    if (o.usesResilience())
+        sim::fatal("--faults/--checkpoint-*/--resume/--stop-after/"
+                   "--watchdog/--max-* need --engine=nova");
     if (o.engine == "polygraph")
         return std::make_unique<baselines::PolyGraphModel>(
             baselines::PolyGraphConfig{}.scaled(o.scale));
@@ -260,19 +352,6 @@ printDivergences(const verify::CaseOutcome &outcome)
     }
 }
 
-/** Parse a full numeric option value or die with a usage error. */
-std::uint64_t
-parseU64(const std::string &text, const char *what, int base = 10)
-{
-    std::uint64_t value = 0;
-    const char *first = text.c_str();
-    const char *last = first + text.size();
-    const auto [ptr, ec] = std::from_chars(first, last, value, base);
-    if (ec != std::errc() || ptr != last || text.empty())
-        sim::fatal("bad value '", text, "' for ", what);
-    return value;
-}
-
 int
 verifyMain(int argc, char **argv)
 {
@@ -311,8 +390,11 @@ verifyMain(int argc, char **argv)
                     sim::fatal("unknown engine '", name, "'");
                 opt.engines.push_back(kind);
             }
-        } else if (takeValue(a, "--inject-fault=", v)) {
+        } else if (takeValue(a, "--inject-fault=", v) ||
+                   takeValue(a, "--inject-recovered=", v)) {
             opt.fault.enabled = true;
+            opt.fault.recover =
+                std::strncmp(a, "--inject-recovered=", 19) == 0;
             opt.fault.xorMask = ~std::uint64_t(0);
             const std::size_t colon = v.find(':');
             opt.fault.afterReduces =
@@ -320,6 +402,12 @@ verifyMain(int argc, char **argv)
             if (colon != std::string::npos)
                 opt.fault.xorMask = parseU64(
                     v.substr(colon + 1), "--inject-fault mask", 16);
+        } else if (takeValue(a, "--faults=", v)) {
+            const std::string err =
+                sim::FaultInjector::validateSchedule(v);
+            if (!err.empty())
+                sim::fatal("bad --faults schedule: ", err);
+            opt.faultSchedule = v;
         } else if (takeValue(a, "--replay=", v))
             replay_token = v;
         else if (std::strcmp(a, "--verbose") == 0)
@@ -344,6 +432,13 @@ verifyMain(int argc, char **argv)
                     c.fault.enabled ? " (with injected fault)" : "");
         const verify::CaseOutcome outcome = verify::replayCase(c);
         std::printf("graph: %s\n", outcome.graphDescription.c_str());
+        for (const auto &rec : outcome.runs)
+            std::printf("run %s on %s: fingerprint 0x%llx, "
+                        "recoveries %llu\n",
+                        verify::algoName(rec.algo),
+                        verify::engineKindName(rec.engine),
+                        static_cast<unsigned long long>(rec.fingerprint),
+                        static_cast<unsigned long long>(rec.recoveries));
         if (outcome.ok()) {
             std::printf("replay: no divergence\n");
             return 0;
@@ -372,14 +467,31 @@ verifyMain(int argc, char **argv)
     return summary.ok() ? 0 : 1;
 }
 
-} // namespace
+/** The exact command line, quoted for the crash-bundle replay line. */
+std::string
+reconstructCommand(int argc, char **argv)
+{
+    std::string cmd = "nova_cli";
+    for (int i = 1; i < argc; ++i) {
+        cmd += ' ';
+        cmd += argv[i];
+    }
+    return cmd;
+}
 
 int
-main(int argc, char **argv)
-try {
+cliMain(int argc, char **argv)
+{
     if (argc > 1 && std::strcmp(argv[1], "verify") == 0)
         return verifyMain(argc, argv);
+    // "nova_cli run ..." is an accepted alias for the default mode.
+    if (argc > 1 && std::strcmp(argv[1], "run") == 0) {
+        --argc;
+        ++argv;
+    }
     const CliOptions o = parseArgs(argc, argv);
+    if (!o.crashBundle.empty())
+        sim::crash::setBundlePath(o.crashBundle);
 
     graph::Csr g = makeGraph(o);
     const bool needs_symmetric = o.workload == "cc" || o.workload == "bc";
@@ -450,13 +562,59 @@ try {
     std::printf("coalesced: %.2f%%; BSP supersteps: %llu\n",
                 100 * r.coalescingRate(),
                 static_cast<unsigned long long>(r.bspIterations));
+    if (const auto fp = r.extra.find("sim.fingerprint");
+        fp != r.extra.end())
+        std::printf("fingerprint: 0x%llx\n",
+                    static_cast<unsigned long long>(fp->second));
+    if (const auto rec = r.extra.find("fault.recoveries");
+        rec != r.extra.end())
+        std::printf("faults: %llu injected, %llu recovered\n",
+                    static_cast<unsigned long long>(
+                        r.extra.at("fault.injected")),
+                    static_cast<unsigned long long>(rec->second));
+    if (r.stoppedAtCheckpoint) {
+        // Partial state: the reference comparison is meaningless here.
+        std::printf("stopped at checkpoint '%s' after superstep %llu\n",
+                    o.checkpointFile.c_str(),
+                    static_cast<unsigned long long>(r.bspIterations));
+        return 0;
+    }
     if (o.validate)
         std::printf("validation: %s\n", valid ? "OK" : "MISMATCH");
     if (o.dumpStats)
         for (const auto &[k, val] : r.extra)
             std::printf("  %-42s %.6g\n", k.c_str(), val);
     return valid ? 0 : 1;
-} catch (const std::exception &e) {
-    std::fprintf(stderr, "%s\n", e.what());
-    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    sim::crash::setReplayToken(reconstructCommand(argc, argv));
+    try {
+        return cliMain(argc, argv);
+    } catch (const sim::FatalError &e) {
+        // User error: bad flags, bad input, unusable configuration.
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    } catch (const sim::PanicError &e) {
+        // Simulator bug. NovaSystem::run writes the bundle while its
+        // components are still alive; write a minimal one only if that
+        // didn't happen (e.g. a panic outside any run).
+        std::fprintf(stderr, "simulator bug: %s\n", e.what());
+        std::string bundle = sim::crash::lastBundle();
+        if (bundle.empty())
+            bundle = sim::crash::writeBundle(e.what());
+        if (!bundle.empty())
+            std::fprintf(stderr, "crash bundle: %s\n", bundle.c_str());
+        if (!sim::crash::replayToken().empty())
+            std::fprintf(stderr, "replay: %s\n",
+                         sim::crash::replayToken().c_str());
+        return 2;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "internal error: %s\n", e.what());
+        return 2;
+    }
 }

@@ -547,6 +547,75 @@ ruleAssertSideEffect(std::vector<Diagnostic> &out, const Prepared &p)
 }
 
 /**
+ * silent-catch: a catch block that swallows the exception. The
+ * simulator reports its own bugs by throwing PanicError; a
+ * `catch (...)` that does not rethrow turns that detection into silent
+ * corruption, and an empty catch body discards the error entirely.
+ * Typed catches with real handling are fine; `catch (...)` must
+ * contain a `throw`.
+ */
+void
+ruleSilentCatch(std::vector<Diagnostic> &out, const Prepared &p)
+{
+    const std::string &text = p.codeText;
+    static const std::regex kw(R"(\bcatch\s*\()");
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), kw);
+         it != std::sregex_iterator(); ++it) {
+        const std::size_t at = static_cast<std::size_t>(it->position());
+
+        // Balanced parameter list (starts at the '(' the match ends on).
+        std::size_t pos = at + it->length() - 1;
+        const std::size_t pstart = pos + 1;
+        int depth = 0;
+        for (; pos < text.size(); ++pos) {
+            if (text[pos] == '(')
+                ++depth;
+            else if (text[pos] == ')' && --depth == 0)
+                break;
+        }
+        if (pos >= text.size())
+            continue;
+        std::string param = text.substr(pstart, pos - pstart);
+        param.erase(std::remove_if(param.begin(), param.end(),
+                                   [](unsigned char c) {
+                                       return std::isspace(c);
+                                   }),
+                    param.end());
+
+        // Balanced handler body.
+        const std::size_t open = text.find('{', pos);
+        if (open == std::string::npos)
+            continue;
+        int braces = 1;
+        std::size_t end = open + 1;
+        while (end < text.size() && braces > 0) {
+            if (text[end] == '{')
+                ++braces;
+            else if (text[end] == '}')
+                --braces;
+            ++end;
+        }
+        const std::string body = text.substr(open + 1, end - open - 2);
+
+        const bool empty_body =
+            body.find_first_not_of(" \t\n\r") == std::string::npos;
+        static const std::regex rethrow(R"(\bthrow\b)");
+        const bool rethrows = std::regex_search(body, rethrow);
+        const std::size_t line_idx = static_cast<std::size_t>(
+            std::count(text.begin(), text.begin() + at, '\n'));
+        if (empty_body) {
+            emit(out, p, line_idx, "silent-catch",
+                 "empty catch body discards the exception; handle it or "
+                 "rethrow");
+        } else if (param == "..." && !rethrows) {
+            emit(out, p, line_idx, "silent-catch",
+                 "catch (...) without a rethrow swallows PanicError/"
+                 "FatalError; catch a specific type or add 'throw;'");
+        }
+    }
+}
+
+/**
  * include-guard: headers must open with a matching
  * `#ifndef NOVA_*_HH` / `#define` pair (no #pragma once), so double
  * inclusion is impossible and guard names stay greppable.
@@ -592,7 +661,7 @@ ruleNames()
         "capture-default",  "unordered-iteration", "wall-clock",
         "raw-new",          "tick-arith",          "unregistered-stat",
         "using-namespace-std", "virtual-dtor",     "assert-side-effect",
-        "include-guard",
+        "include-guard",    "silent-catch",
     };
     return names;
 }
@@ -636,6 +705,8 @@ lintFiles(const std::vector<SourceFile> &files,
             ruleAssertSideEffect(out, p);
         if (on("include-guard"))
             ruleIncludeGuard(out, p);
+        if (on("silent-catch"))
+            ruleSilentCatch(out, p);
     }
 
     std::sort(out.begin(), out.end(),
