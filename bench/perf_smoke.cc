@@ -1,0 +1,284 @@
+/**
+ * @file
+ * The fixed host-performance smoke suite: BFS/SSSP/PR on an RMAT and a
+ * road-grid graph at pinned seeds — six workloads whose event streams
+ * are deterministic, so events/second on the host is comparable across
+ * commits. Each workload runs on both event-queue backends (the legacy
+ * binary heap and the calendar queue); the JSON report carries host
+ * seconds, simulated ticks, executed events, events/sec and peak RSS
+ * per workload, plus the hardware-independent calendar-vs-legacy
+ * speedup, and asserts the two backends' event-order fingerprints are
+ * bit-identical.
+ *
+ * Usage: perf_smoke [--out=FILE] [--quick] [--reps=N]
+ *
+ * The report goes to stdout; --out also writes it to FILE (the
+ * committed BENCH_5.json is produced this way by
+ * scripts/bench_json.sh). --quick shrinks the graphs for per-commit CI.
+ * Each workload/backend pair runs N times (default 3) and reports the
+ * minimum host time, the noise-robust estimator on shared machines;
+ * all repetitions must produce identical fingerprints.
+ */
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "graph/generators.hh"
+#include "graph/graph_stats.hh"
+#include "graph/partition.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "workloads/programs.hh"
+
+using namespace nova;
+
+namespace
+{
+
+/** One suite entry: a workload on a pinned generated graph. */
+struct Spec
+{
+    const char *name;     ///< stable JSON key, e.g. "bfs_rmat"
+    const char *workload; ///< bfs | sssp | pr
+    const char *family;   ///< rmat | grid
+};
+
+constexpr Spec kSuite[] = {
+    {"bfs_rmat", "bfs", "rmat"},   {"bfs_grid", "bfs", "grid"},
+    {"sssp_rmat", "sssp", "rmat"}, {"sssp_grid", "sssp", "grid"},
+    {"pr_rmat", "pr", "rmat"},     {"pr_grid", "pr", "grid"},
+};
+
+constexpr std::uint64_t kGraphSeed = 42; // pinned: the suite IS the seed
+
+graph::Csr
+makeGraph(const std::string &family, bool quick)
+{
+    if (family == "rmat") {
+        graph::RmatParams p;
+        p.numVertices = quick ? 4096 : 32768;
+        p.numEdges = quick ? 65536 : 524288;
+        p.maxWeight = 255;
+        p.seed = kGraphSeed;
+        return graph::generateRmat(p);
+    }
+    graph::RoadGridParams p;
+    p.width = quick ? 64 : 192;
+    p.height = quick ? 64 : 192;
+    p.maxWeight = 255;
+    p.seed = kGraphSeed;
+    return graph::generateRoadGrid(p);
+}
+
+/** Host-time measurement of one run on one queue backend. */
+struct Measured
+{
+    double hostSeconds = 0;
+    double simTicks = 0;
+    double events = 0;
+    double fingerprint = 0;
+
+    double
+    eventsPerSec() const
+    {
+        return hostSeconds > 0 ? events / hostSeconds : 0;
+    }
+};
+
+Measured
+runOnce(const Spec &spec, const graph::Csr &g,
+        sim::EventQueue::Impl impl)
+{
+    sim::EventQueue::ScopedDefaultImpl forced(impl);
+
+    core::NovaConfig cfg = core::NovaConfig{}.scaled(1000);
+    core::NovaSystem system(cfg);
+    const auto map = graph::randomMapping(g.numVertices(),
+                                          cfg.totalPes(), 1);
+    const graph::VertexId src = graph::highestDegreeVertex(g);
+
+    const auto start = std::chrono::steady_clock::now();
+    workloads::RunResult r;
+    if (std::strcmp(spec.workload, "bfs") == 0) {
+        workloads::BfsProgram prog(src);
+        r = system.run(prog, g, map);
+    } else if (std::strcmp(spec.workload, "sssp") == 0) {
+        workloads::SsspProgram prog(src);
+        r = system.run(prog, g, map);
+    } else {
+        workloads::PageRankProgram prog(0.85, 1e-9, 10);
+        r = system.run(prog, g, map);
+    }
+    const auto end = std::chrono::steady_clock::now();
+
+    Measured m;
+    m.hostSeconds =
+        std::chrono::duration<double>(end - start).count();
+    m.simTicks = static_cast<double>(r.ticks);
+    m.events = r.extra.at("sim.events");
+    m.fingerprint = r.extra.at("sim.fingerprint");
+    return m;
+}
+
+/** Best (minimum host time) of `reps` identical runs. */
+Measured
+runBest(const Spec &spec, const graph::Csr &g,
+        sim::EventQueue::Impl impl, unsigned reps)
+{
+    Measured best;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        const Measured m = runOnce(spec, g, impl);
+        if (rep == 0) {
+            best = m;
+            continue;
+        }
+        if (m.fingerprint != best.fingerprint || m.events != best.events)
+            sim::panic("non-deterministic repetition on ", spec.name);
+        if (m.hostSeconds < best.hostSeconds)
+            best.hostSeconds = m.hostSeconds;
+    }
+    return best;
+}
+
+double
+peakRssKb()
+{
+    struct rusage ru = {};
+    getrusage(RUSAGE_SELF, &ru);
+    return static_cast<double>(ru.ru_maxrss);
+}
+
+void
+appendJsonNumber(std::string &out, const char *key, double v,
+                 bool last = false)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "    \"%s\": %.6f%s\n", key, v,
+                  last ? "" : ",");
+    out += buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path;
+    bool quick = false;
+    unsigned reps = 3;
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strncmp(a, "--out=", 6) == 0)
+            out_path = a + 6;
+        else if (std::strcmp(a, "--quick") == 0)
+            quick = true;
+        else if (std::strncmp(a, "--reps=", 7) == 0)
+            reps = static_cast<unsigned>(std::strtoul(a + 7, nullptr, 10));
+        else
+            sim::fatal("unknown option '", a,
+                       "' (usage: perf_smoke [--out=FILE] [--quick] "
+                       "[--reps=N])");
+    }
+    if (reps == 0)
+        sim::fatal("--reps must be at least 1");
+
+    double agg_events = 0, agg_host = 0;
+    double agg_legacy_events = 0, agg_legacy_host = 0;
+    std::string json;
+    json += "{\n";
+    json += "  \"schema\": \"nova-bench-5\",\n";
+    json += std::string("  \"quick\": ") + (quick ? "true" : "false") +
+            ",\n";
+    json += "  \"workloads\": {\n";
+
+    bool first = true;
+    for (const Spec &spec : kSuite) {
+        const graph::Csr g = makeGraph(spec.family, quick);
+
+        const Measured legacy =
+            runBest(spec, g, sim::EventQueue::Impl::LegacyHeap, reps);
+        const Measured cal =
+            runBest(spec, g, sim::EventQueue::Impl::Calendar, reps);
+
+        // The suite doubles as an ordering check: identical inputs must
+        // produce identical event streams on both backends.
+        if (legacy.fingerprint != cal.fingerprint ||
+            legacy.events != cal.events)
+            sim::panic("queue backends diverged on ", spec.name,
+                       ": legacy fingerprint ",
+                       static_cast<std::uint64_t>(legacy.fingerprint),
+                       " (", static_cast<std::uint64_t>(legacy.events),
+                       " events) vs calendar ",
+                       static_cast<std::uint64_t>(cal.fingerprint), " (",
+                       static_cast<std::uint64_t>(cal.events),
+                       " events)");
+
+        agg_events += cal.events;
+        agg_host += cal.hostSeconds;
+        agg_legacy_events += legacy.events;
+        agg_legacy_host += legacy.hostSeconds;
+
+        if (!first)
+            json += ",\n";
+        first = false;
+        json += std::string("   \"") + spec.name + "\": {\n";
+        appendJsonNumber(json, "sim_ticks", cal.simTicks);
+        appendJsonNumber(json, "events", cal.events);
+        appendJsonNumber(json, "host_seconds", cal.hostSeconds);
+        appendJsonNumber(json, "events_per_sec", cal.eventsPerSec());
+        appendJsonNumber(json, "legacy_host_seconds", legacy.hostSeconds);
+        appendJsonNumber(json, "legacy_events_per_sec",
+                         legacy.eventsPerSec());
+        appendJsonNumber(json, "speedup_vs_legacy",
+                         legacy.hostSeconds > 0 && cal.hostSeconds > 0
+                             ? legacy.hostSeconds / cal.hostSeconds
+                             : 0);
+        appendJsonNumber(json, "fingerprint", cal.fingerprint);
+        appendJsonNumber(json, "peak_rss_kb", peakRssKb(), true);
+        json += "   }";
+
+        std::fprintf(stderr,
+                     "%-10s %9.0f events  legacy %.3fs  calendar %.3fs  "
+                     "speedup %.2fx\n",
+                     spec.name, cal.events, legacy.hostSeconds,
+                     cal.hostSeconds,
+                     cal.hostSeconds > 0
+                         ? legacy.hostSeconds / cal.hostSeconds
+                         : 0);
+    }
+
+    const double agg_eps = agg_host > 0 ? agg_events / agg_host : 0;
+    const double agg_legacy_eps =
+        agg_legacy_host > 0 ? agg_legacy_events / agg_legacy_host : 0;
+    json += "\n  },\n";
+    json += "  \"aggregate\": {\n";
+    appendJsonNumber(json, "events", agg_events);
+    appendJsonNumber(json, "host_seconds", agg_host);
+    appendJsonNumber(json, "events_per_sec", agg_eps);
+    appendJsonNumber(json, "legacy_events_per_sec", agg_legacy_eps);
+    appendJsonNumber(json, "speedup_vs_legacy",
+                     agg_legacy_eps > 0 ? agg_eps / agg_legacy_eps : 0,
+                     true);
+    json += "  }\n}\n";
+
+    std::fputs(json.c_str(), stdout);
+    if (!out_path.empty()) {
+        std::ofstream f(out_path);
+        if (!f)
+            sim::fatal("cannot write '", out_path, "'");
+        f << json;
+    }
+    std::fprintf(stderr, "aggregate: %.0f ev/s calendar vs %.0f ev/s "
+                         "legacy (%.2fx)\n",
+                 agg_eps, agg_legacy_eps,
+                 agg_legacy_eps > 0 ? agg_eps / agg_legacy_eps : 0);
+    return 0;
+}

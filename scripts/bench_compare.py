@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Validate and compare nova-bench-5 perf records (docs/CI.md).
+
+Modes:
+  bench_compare.py --validate FILE
+      Schema-check one record: every suite workload present with
+      positive events, host seconds and events/sec, backend fingerprints
+      recorded, and the aggregate block consistent.
+
+  bench_compare.py --compare BASELINE CURRENT [--threshold 0.15]
+      Regression gate: fail (exit 1) when any workload's events/sec —
+      or the aggregate — drops more than THRESHOLD relative to the
+      baseline. Improvements and noise inside the threshold pass.
+
+  bench_compare.py --self-test
+      Prove the gate trips: synthesize a 20% regression of an embedded
+      baseline and require --compare to reject it.
+"""
+
+import argparse
+import copy
+import json
+import sys
+
+SUITE = [
+    "bfs_rmat", "bfs_grid",
+    "sssp_rmat", "sssp_grid",
+    "pr_rmat", "pr_grid",
+]
+
+NUMERIC_FIELDS = [
+    "sim_ticks", "events", "host_seconds", "events_per_sec",
+    "legacy_host_seconds", "legacy_events_per_sec", "speedup_vs_legacy",
+    "fingerprint", "peak_rss_kb",
+]
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def validate(doc, path="<record>"):
+    errors = []
+    if doc.get("schema") != "nova-bench-5":
+        errors.append(f"{path}: schema is {doc.get('schema')!r}, "
+                      "expected 'nova-bench-5'")
+    workloads = doc.get("workloads", {})
+    for name in SUITE:
+        w = workloads.get(name)
+        if w is None:
+            errors.append(f"{path}: workload '{name}' missing")
+            continue
+        for field in NUMERIC_FIELDS:
+            if not isinstance(w.get(field), (int, float)):
+                errors.append(f"{path}: {name}.{field} missing or "
+                              "non-numeric")
+        for field in ("events", "host_seconds", "events_per_sec",
+                      "sim_ticks", "peak_rss_kb"):
+            if isinstance(w.get(field), (int, float)) and w[field] <= 0:
+                errors.append(f"{path}: {name}.{field} must be positive")
+    agg = doc.get("aggregate", {})
+    for field in ("events", "host_seconds", "events_per_sec",
+                  "legacy_events_per_sec", "speedup_vs_legacy"):
+        if not isinstance(agg.get(field), (int, float)) or agg[field] <= 0:
+            errors.append(f"{path}: aggregate.{field} missing or "
+                          "non-positive")
+    return errors
+
+
+def compare(baseline, current, threshold):
+    """Return a list of regression messages (empty = pass)."""
+    failures = []
+    base_w = baseline.get("workloads", {})
+    cur_w = current.get("workloads", {})
+    print(f"{'workload':<12} {'baseline ev/s':>14} {'current ev/s':>14} "
+          f"{'ratio':>7}")
+    for name in SUITE:
+        b = base_w.get(name, {}).get("events_per_sec")
+        c = cur_w.get(name, {}).get("events_per_sec")
+        if not b or not c:
+            failures.append(f"{name}: missing events_per_sec "
+                            f"(baseline={b}, current={c})")
+            continue
+        ratio = c / b
+        print(f"{name:<12} {b:>14.0f} {c:>14.0f} {ratio:>6.2f}x")
+        if ratio < 1.0 - threshold:
+            failures.append(
+                f"{name}: events/sec regressed {100 * (1 - ratio):.1f}% "
+                f"({b:.0f} -> {c:.0f}), threshold "
+                f"{100 * threshold:.0f}%")
+    b = baseline.get("aggregate", {}).get("events_per_sec")
+    c = current.get("aggregate", {}).get("events_per_sec")
+    if b and c:
+        ratio = c / b
+        print(f"{'aggregate':<12} {b:>14.0f} {c:>14.0f} {ratio:>6.2f}x")
+        if ratio < 1.0 - threshold:
+            failures.append(
+                f"aggregate: events/sec regressed "
+                f"{100 * (1 - ratio):.1f}%, threshold "
+                f"{100 * threshold:.0f}%")
+    else:
+        failures.append("aggregate events_per_sec missing")
+    return failures
+
+
+def synthetic_record(eps):
+    """A minimal structurally valid record at `eps` events/sec."""
+    w = {name: {f: 1.0 for f in NUMERIC_FIELDS} for name in SUITE}
+    for entry in w.values():
+        entry["events_per_sec"] = eps
+    return {
+        "schema": "nova-bench-5",
+        "workloads": w,
+        "aggregate": {
+            "events": 1.0, "host_seconds": 1.0, "events_per_sec": eps,
+            "legacy_events_per_sec": eps, "speedup_vs_legacy": 1.0,
+        },
+    }
+
+
+def self_test():
+    baseline = synthetic_record(1_000_000.0)
+    ok = compare(baseline, copy.deepcopy(baseline), 0.15)
+    if ok:
+        print("self-test: identical records must pass", file=sys.stderr)
+        return 1
+    regressed = synthetic_record(800_000.0)  # 20% slower
+    failures = compare(baseline, regressed, 0.15)
+    if not failures:
+        print("self-test: a 20% regression must fail the 15% gate",
+              file=sys.stderr)
+        return 1
+    improved = synthetic_record(1_200_000.0)
+    if compare(baseline, improved, 0.15):
+        print("self-test: improvements must pass", file=sys.stderr)
+        return 1
+    schema_errors = validate(synthetic_record(1.0))
+    if schema_errors:
+        print("self-test: synthetic record must validate:",
+              schema_errors, file=sys.stderr)
+        return 1
+    print("self-test: regression gate trips as designed")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    mode = ap.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--validate", metavar="FILE")
+    mode.add_argument("--compare", nargs=2,
+                      metavar=("BASELINE", "CURRENT"))
+    mode.add_argument("--self-test", action="store_true")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="allowed fractional events/sec drop "
+                         "(default 0.15)")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    if args.validate:
+        errors = validate(load(args.validate), args.validate)
+        for e in errors:
+            print(f"error: {e}", file=sys.stderr)
+        if not errors:
+            print(f"{args.validate}: valid nova-bench-5 record")
+        return 1 if errors else 0
+
+    baseline, current = (load(p) for p in args.compare)
+    for doc, path in ((baseline, args.compare[0]),
+                      (current, args.compare[1])):
+        errors = validate(doc, path)
+        if errors:
+            for e in errors:
+                print(f"error: {e}", file=sys.stderr)
+            return 1
+    failures = compare(baseline, current, args.threshold)
+    for f in failures:
+        print(f"REGRESSION: {f}", file=sys.stderr)
+    if not failures:
+        print("bench_compare: no regression beyond "
+              f"{100 * args.threshold:.0f}%")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+#
+# Generate the machine-readable perf record (BENCH_5.json) from the
+# fixed 6-workload perf_smoke suite (docs/CI.md).
+#
+# Usage: scripts/bench_json.sh [OUT_JSON]
+#
+# Environment:
+#   BUILD_DIR    build tree to use                  [build]
+#   BENCH_QUICK  1 = pass --quick (smaller graphs)  [0]
+#
+# The suite runs every workload on both event-queue backends and fails
+# hard if their event-order fingerprints differ, so a green run is also
+# an ordering proof.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_5.json}"
+BUILD="${BUILD_DIR:-build}"
+
+EXTRA=()
+if [[ "${BENCH_QUICK:-0}" == "1" ]]; then
+    EXTRA+=(--quick)
+fi
+
+if [[ ! -x "${BUILD}/bench/perf_smoke" ]]; then
+    echo "bench_json.sh: building perf_smoke in ${BUILD}" >&2
+    cmake -B "${BUILD}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+    cmake --build "${BUILD}" -j "$(nproc 2>/dev/null || echo 4)" \
+        --target perf_smoke
+fi
+
+"${BUILD}/bench/perf_smoke" --out="${OUT}" "${EXTRA[@]}" >/dev/null
+echo "bench_json.sh: wrote ${OUT}"

@@ -16,7 +16,11 @@ Mgu::Mgu(std::string name, sim::EventQueue &queue, const NovaConfig &cfg_,
     : ClockedObject(std::move(name), queue, cfg_.clockPeriod()), cfg(cfg_),
       peIndex(pe), store(store_), emem(edge_mem), net(net_), vmu(vmu_),
       program(prog), mapping(map), counters(counters_),
-      propEvent(queue, [this] { propWork(); })
+      propEvent(queue, [this] { propWork(); }),
+      profProp(sim::profile::Registry::instance().site(this->name(),
+                                                       "mgu.propagate")),
+      profBurst(sim::profile::Registry::instance().site(this->name(),
+                                                        "mgu.burst"))
 {
     statistics().addScalar("verticesPropagated", &verticesPropagated);
     statistics().addScalar("edgesRead", &edgesRead);
@@ -62,6 +66,7 @@ Mgu::issueRowPtr(std::shared_ptr<EntryState> ent)
 void
 Mgu::onRowPtr(const std::shared_ptr<EntryState> &ent)
 {
+    NOVA_PROF_SCOPE(profBurst);
     ent->rangeKnown = true;
     ent->next = store.edgeBegin(ent->local);
     ent->end = store.edgeEnd(ent->local);
@@ -119,6 +124,7 @@ void
 Mgu::onBurst(const std::shared_ptr<EntryState> &ent, EdgeId start,
              std::uint32_t count)
 {
+    NOVA_PROF_SCOPE(profBurst);
     NOVA_ASSERT(ent->outstandingBursts > 0);
     --ent->outstandingBursts;
     edgesRead += count;
@@ -129,6 +135,7 @@ Mgu::onBurst(const std::shared_ptr<EntryState> &ent, EdgeId start,
 void
 Mgu::propWork()
 {
+    NOVA_PROF_SCOPE(profProp);
     std::uint32_t budget = cfg.propagateFusPerPe;
     while (budget > 0 && !propQueue.empty()) {
         BurstItem &b = propQueue.front();

@@ -26,6 +26,7 @@
 #include "core/vmu.hh"
 #include "mem/dram.hh"
 #include "noc/network.hh"
+#include "sim/profile.hh"
 #include "sim/sim_object.hh"
 
 namespace nova::core
@@ -108,6 +109,8 @@ class Mgu : public sim::ClockedObject
     std::deque<BurstItem> propQueue;
     std::uint32_t burstsInFlight = 0;
     sim::SelfEvent propEvent;
+    sim::profile::Site &profProp;  ///< host time in propWork()
+    sim::profile::Site &profBurst; ///< host time in onBurst()/onRowPtr()
 };
 
 } // namespace nova::core

@@ -15,7 +15,11 @@ Mpu::Mpu(std::string name, sim::EventQueue &queue, const NovaConfig &cfg_,
       peIndex(pe), store(store_), cache(cache_), net(net_), vmu(vmu_),
       program(prog), mapping(map), counters(counters_),
       bspMode(prog.mode() == workloads::ExecMode::Bsp),
-      workEvent(queue, [this] { work(); })
+      workEvent(queue, [this] { work(); }),
+      profWork(sim::profile::Registry::instance().site(this->name(),
+                                                       "mpu.work")),
+      profReduce(sim::profile::Registry::instance().site(this->name(),
+                                                         "mpu.reduce"))
 {
     statistics().addScalar("reductions", &reductions);
     statistics().addScalar("activations", &activations);
@@ -42,6 +46,7 @@ Mpu::wake()
 void
 Mpu::work()
 {
+    NOVA_PROF_SCOPE(profWork);
     std::uint32_t issued = 0;
     while (issued < cfg.reduceFusPerPe) {
         if (!stalled) {
@@ -70,6 +75,7 @@ Mpu::work()
 void
 Mpu::finishReduce(const noc::Message &msg)
 {
+    NOVA_PROF_SCOPE(profReduce);
     const VertexId local = mapping.localOf(msg.dstVertex);
     ++reductions;
     ++counters.messagesProcessed;

@@ -20,6 +20,7 @@
 #include "core/vmu.hh"
 #include "mem/cache.hh"
 #include "noc/network.hh"
+#include "sim/profile.hh"
 #include "sim/sim_object.hh"
 
 namespace nova::core
@@ -76,6 +77,8 @@ class Mpu : public sim::ClockedObject
     sim::SelfEvent workEvent;
     std::optional<noc::Message> stalled;
     sim::FaultPoint *reducePoint = nullptr; ///< "reduce.bitflip"
+    sim::profile::Site &profWork;   ///< host time in work()
+    sim::profile::Site &profReduce; ///< host time in finishReduce()
 
     /** Apply reduce; a firing fault point costs a detected recompute. */
     std::uint64_t checkedReduce(std::uint64_t into, std::uint64_t update,

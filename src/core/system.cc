@@ -12,6 +12,7 @@
 #include "sim/event_queue.hh"
 #include "sim/fault.hh"
 #include "sim/logging.hh"
+#include "sim/profile.hh"
 
 namespace nova::core
 {
@@ -49,6 +50,10 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
 
     sim::EventQueue eq;
     RunCounters counters;
+
+    // Each run reports its own host-time profile, not the process's.
+    if (sim::profile::Registry::armed())
+        sim::profile::Registry::instance().reset();
 
     // The fault injector must exist before any component registers its
     // injection points, and the schedule must be installed before that.
@@ -531,6 +536,17 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
     // double-valued stats map without losing information.
     extra["sim.fingerprint"] = static_cast<double>(
         eq.fingerprint() & ((std::uint64_t(1) << 52) - 1));
+
+    if (sim::profile::Registry::armed()) {
+        const auto rows = sim::profile::Registry::instance().report(true);
+        for (const auto &row : rows) {
+            const std::string base = "profile." + row.kind;
+            extra[base + ".calls"] = static_cast<double>(row.calls);
+            extra[base + ".total_ns"] =
+                static_cast<double>(row.totalNanos);
+            extra[base + ".self_ns"] = static_cast<double>(row.selfNanos);
+        }
+    }
 
     // Fault-injection outcome (only when an injector was armed, so a
     // fault-free result map is unchanged from earlier builds).

@@ -11,7 +11,11 @@ Vmu::Vmu(std::string name, sim::EventQueue &queue, const NovaConfig &cfg_,
          const workloads::VertexProgram &prog)
     : SimObject(std::move(name), queue), cfg(cfg_), store(store_),
       vmem(vertex_mem), program(prog),
-      counters(store_.numSuperblocks(), 0)
+      counters(store_.numSuperblocks(), 0),
+      profActivate(sim::profile::Registry::instance().site(
+          this->name(), "vmu.activate")),
+      profFetch(sim::profile::Registry::instance().site(this->name(),
+                                                        "vmu.fetch"))
 {
     statistics().addScalar("coalescedUpdates", &coalescedUpdates);
     statistics().addScalar("directInserts", &directInserts);
@@ -43,6 +47,7 @@ Vmu::freeSlots() const
 void
 Vmu::activate(VertexId local, std::uint64_t alpha)
 {
+    NOVA_PROF_SCOPE(profActivate);
     if (cfg.spill == SpillPolicy::OffChipFifo) {
         // Eager policy: no coalescing; duplicates are allowed.
         if (freeSlots() > 0)
@@ -180,6 +185,7 @@ Vmu::issueBlockRead(std::uint32_t block)
 void
 Vmu::onBlockFetched(std::uint32_t block)
 {
+    NOVA_PROF_SCOPE(profFetch);
     reservedSlots -= store.vertsPerBlock();
     bool any = false;
     for (VertexId v = store.blockFirst(block); v < store.blockEnd(block);

@@ -30,6 +30,7 @@
 #include "core/config.hh"
 #include "core/vertex_store.hh"
 #include "mem/dram.hh"
+#include "sim/profile.hh"
 #include "sim/sim_object.hh"
 
 namespace nova::core
@@ -139,6 +140,8 @@ class Vmu : public sim::SimObject
     static constexpr sim::Addr fifoRegionBase = sim::Addr(1) << 44;
 
     sim::FaultPoint *spillPoint = nullptr; ///< "spill.corrupt"
+    sim::profile::Site &profActivate; ///< host time in activate()
+    sim::profile::Site &profFetch;    ///< host time in onBlockFetched()
 };
 
 } // namespace nova::core

@@ -90,7 +90,9 @@ DramChannel::DramChannel(std::string name, sim::EventQueue &queue,
                          const DramTiming &timing)
     : SimObject(std::move(name), queue), cfg(timing),
       bankReadyAt(cfg.numBanks, 0), openRow(cfg.numBanks, -1),
-      issueEvent(queue, [this] { issueOne(); })
+      issueEvent(queue, [this] { issueOne(); }),
+      profIssue(sim::profile::Registry::instance().site(this->name(),
+                                                        "dram.issue"))
 {
     statistics().addScalar("bytesRead", &bytesRead);
     statistics().addScalar("bytesWritten", &bytesWritten);
@@ -102,6 +104,9 @@ DramChannel::DramChannel(std::string name, sim::EventQueue &queue,
     statistics().addScalar("eccCorrected", &eccCorrected);
     statistics().addScalar("eccRereads", &eccRereads);
     statistics().addScalar("txnRetries", &txnRetries);
+
+    this->queue.reserve(cfg.queueCapacity);
+    keys.reserve(cfg.queueCapacity);
 
     if (sim::FaultInjector *inj = queue.faultInjector()) {
         bitflipPoint = inj->registerPoint("dram.bitflip", this->name());
@@ -129,6 +134,7 @@ DramChannel::tryAccess(Addr addr, bool write, MemCallback done)
     if (queue.size() >= cfg.queueCapacity)
         return false;
     queue.push_back(Request{addr, write, std::move(done), now()});
+    keys.push_back(ScanKey{rowOf(addr), bankOf(addr)});
     trySchedule();
     return true;
 }
@@ -158,44 +164,47 @@ DramChannel::trySchedule()
 void
 DramChannel::issueOne()
 {
+    NOVA_PROF_SCOPE(profIssue);
     if (queue.empty())
         return;
 
     // FR-FCFS-lite: prefer the oldest row hit on a ready bank, then the
     // oldest request on a ready bank, then the overall oldest.
     const Tick t = now();
-    std::size_t chosen = 0;
-    int best_class = 3;
-    Tick earliest_ready = sim::maxTick;
-    for (std::size_t i = 0; i < queue.size(); ++i) {
-        const auto &r = queue[i];
-        const std::uint32_t b = bankOf(r.addr);
-        const bool ready = bankReadyAt[b] <= t;
-        earliest_ready = std::min(earliest_ready, bankReadyAt[b]);
-        const bool hit =
-            openRow[b] == static_cast<std::int64_t>(rowOf(r.addr));
-        const int klass = (ready && hit) ? 0 : (ready ? 1 : 2);
-        if (klass < best_class) {
-            best_class = klass;
+    std::size_t chosen = queue.size();
+    int best_class = 2;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        const ScanKey &k = keys[i];
+        if (bankReadyAt[k.bank] > t)
+            continue;
+        if (openRow[k.bank] == static_cast<std::int64_t>(k.row)) {
             chosen = i;
-            if (klass == 0)
-                break;
+            best_class = 0;
+            break;
+        }
+        if (best_class > 1) {
+            best_class = 1;
+            chosen = i;
         }
     }
 
     if (best_class == 2) {
         // No bank can accept a command yet; wait instead of committing
         // a request to a busy bank (which would serialize the banks).
+        Tick earliest_ready = sim::maxTick;
+        for (const ScanKey &k : keys)
+            earliest_ready = std::min(earliest_ready, bankReadyAt[k.bank]);
         issueEvent.schedule(std::max(earliest_ready, nextIssueAt));
         return;
     }
 
+    const std::uint32_t b = keys[chosen].bank;
+    const std::uint64_t row = keys[chosen].row;
     Request req = std::move(queue[chosen]);
     queue.erase(queue.begin() +
                 static_cast<std::ptrdiff_t>(chosen));
+    keys.erase(keys.begin() + static_cast<std::ptrdiff_t>(chosen));
 
-    const std::uint32_t b = bankOf(req.addr);
-    const std::uint64_t row = rowOf(req.addr);
     const bool hit = openRow[b] == static_cast<std::int64_t>(row);
     const Tick access_lat = hit ? cfg.tRowHit : cfg.tRowMiss;
 
@@ -353,6 +362,18 @@ MemorySystem::tryAccess(Addr addr, std::uint32_t bytes, bool write,
     const Addr last = (addr + std::max<std::uint32_t>(bytes, 1) - 1) /
                       cfg.accessBytes;
     const auto num_atoms = static_cast<std::uint32_t>(last - first + 1);
+
+    if (num_atoms == 1) {
+        // Single-atom fast path: no completion counting needed, so the
+        // callback goes straight to the channel with no allocation. An
+        // empty callback still becomes a no-op completion event, which
+        // the counting path always scheduled — event order and replay
+        // fingerprints must not depend on which path a request took.
+        if (!done)
+            done = [] {};
+        return channelFor(first * cfg.accessBytes)
+            .tryAccess(first * cfg.accessBytes, write, std::move(done));
+    }
 
     // All-or-nothing admission: check capacity first so a multi-atom
     // request is never half-enqueued.

@@ -13,12 +13,12 @@
 #define NOVA_MEM_DRAM_HH
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
 
 #include "sim/fault.hh"
+#include "sim/profile.hh"
 #include "sim/sim_object.hh"
 #include "sim/types.hh"
 
@@ -140,6 +140,17 @@ class DramChannel : public sim::SimObject
         Tick enqueued;
     };
 
+    /**
+     * bankOf/rowOf of a queued request, precomputed at enqueue and kept
+     * in a parallel array so the FR-FCFS scan reads four entries per
+     * cache line and does no divisions.
+     */
+    struct ScanKey
+    {
+        std::uint64_t row;
+        std::uint32_t bank;
+    };
+
     void trySchedule();
     void issueOne();
 
@@ -147,7 +158,8 @@ class DramChannel : public sim::SimObject
     std::uint64_t rowOf(Addr addr) const;
 
     DramTiming cfg;
-    std::deque<Request> queue;
+    std::vector<Request> queue;
+    std::vector<ScanKey> keys; ///< parallel to `queue`
     std::vector<Tick> bankReadyAt;
     std::vector<std::int64_t> openRow;
     Tick busFreeAt = 0;
@@ -156,6 +168,7 @@ class DramChannel : public sim::SimObject
     std::vector<std::function<void()>> spaceWaiters;
     FaultPoint *bitflipPoint = nullptr; ///< "dram.bitflip" (reads)
     FaultPoint *txnPoint = nullptr;     ///< "dram.txn" (any access)
+    sim::profile::Site &profIssue;      ///< host time in issueOne()
 };
 
 /**

@@ -1,0 +1,147 @@
+// Host-time profiler implementation; see profile.hh for the design.
+// novalint:allow-file(wall-clock)
+
+#include "sim/profile.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace nova::sim::profile
+{
+
+void
+Site::registerStats(stats::Group &g)
+{
+    const std::string base = fullName();
+    g.addScalar(base + ".calls", &nCalls);
+    g.addScalar(base + ".total_ns", &nTotalNanos);
+    g.addScalar(base + ".self_ns", &nSelfNanos);
+}
+
+Registry &
+Registry::instance()
+{
+    static Registry r;
+    return r;
+}
+
+Site &
+Registry::site(const std::string &object, const std::string &kind)
+{
+    auto key = std::make_pair(object, kind);
+    auto it = sites.find(key);
+    if (it == sites.end()) {
+        auto s = std::make_unique<Site>(object, kind);
+        s->registerStats(group);
+        it = sites.emplace(std::move(key), std::move(s)).first;
+    }
+    return *it->second;
+}
+
+void
+Registry::reset()
+{
+    for (auto &[key, s] : sites)
+        s->reset();
+}
+
+std::vector<Row>
+Registry::report(bool aggregate) const
+{
+    std::vector<Row> rows;
+    for (const auto &[key, s] : sites) {
+        if (s->calls() == 0)
+            continue;
+        Row r{aggregate ? "*" : s->object(), s->kind(), s->calls(),
+              s->totalNanos(), s->selfNanos()};
+        if (aggregate) {
+            auto it = std::find_if(rows.begin(), rows.end(),
+                                   [&](const Row &x) {
+                                       return x.kind == r.kind;
+                                   });
+            if (it != rows.end()) {
+                it->calls += r.calls;
+                it->totalNanos += r.totalNanos;
+                it->selfNanos += r.selfNanos;
+                continue;
+            }
+        }
+        rows.push_back(std::move(r));
+    }
+    std::sort(rows.begin(), rows.end(), [](const Row &a, const Row &b) {
+        if (a.selfNanos != b.selfNanos)
+            return a.selfNanos > b.selfNanos;
+        return std::make_pair(a.object, a.kind) <
+               std::make_pair(b.object, b.kind);
+    });
+    return rows;
+}
+
+std::string
+Registry::table() const
+{
+    const auto rows = report(true);
+    std::uint64_t allSelf = 0;
+    for (const auto &r : rows)
+        allSelf += r.selfNanos;
+
+    std::ostringstream os;
+    os << "---------- host profile (by event kind) ----------\n";
+    os << std::left << std::setw(18) << "kind" << std::right
+       << std::setw(12) << "calls" << std::setw(12) << "self-ms"
+       << std::setw(12) << "total-ms" << std::setw(12) << "ev/s"
+       << std::setw(8) << "self%" << "\n";
+    for (const auto &r : rows) {
+        const double selfMs = static_cast<double>(r.selfNanos) / 1e6;
+        const double totalMs = static_cast<double>(r.totalNanos) / 1e6;
+        const double pct =
+            allSelf == 0 ? 0
+                         : 100.0 * static_cast<double>(r.selfNanos) /
+                               static_cast<double>(allSelf);
+        os << std::left << std::setw(18) << r.kind << std::right
+           << std::setw(12) << r.calls << std::setw(12) << std::fixed
+           << std::setprecision(2) << selfMs << std::setw(12) << totalMs
+           << std::setw(12) << std::setprecision(0) << r.eventsPerSec()
+           << std::setw(7) << std::setprecision(1) << pct << "%\n";
+    }
+    os << "--------------------------------------------------\n";
+    return os.str();
+}
+
+void
+Scope::open(Site &s)
+{
+    site = &s;
+    Registry &reg = Registry::instance();
+    parent = reg.cur;
+    reg.cur = this;
+    childNanos = 0;
+    startNanos = hostNow();
+}
+
+void
+Scope::close()
+{
+    const std::uint64_t total = hostNow() - startNanos;
+    Registry &reg = Registry::instance();
+    reg.cur = parent;
+    if (parent)
+        parent->childNanos += total;
+    site->nCalls += 1;
+    site->nTotalNanos += static_cast<double>(total);
+    // A scope's children can only run while it is open, so child time
+    // never exceeds total even across clock-granularity jitter.
+    site->nSelfNanos += static_cast<double>(
+        total >= childNanos ? total - childNanos : 0);
+    site = nullptr;
+}
+
+Site &
+loopSite()
+{
+    static Site &s = Registry::instance().site("sim", "run");
+    return s;
+}
+
+} // namespace nova::sim::profile

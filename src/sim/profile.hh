@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Scoped, hierarchical host-time profiler for the simulation kernel.
+ *
+ * The simulator's own speed — host nanoseconds per simulated event — is
+ * the budget every experiment in bench/ spends. This profiler answers
+ * "where does the host time go" with per-(SimObject, event-kind) sites:
+ * a component brackets each event boundary with NOVA_PROF_SCOPE, and
+ * the registry accumulates call counts plus total and self (exclusive)
+ * nanoseconds, attributing nested scopes to their parent's child time.
+ *
+ * The profiler is disarmed by default and costs one predicted branch on
+ * a static bool per scope in that state; nothing else is touched, so
+ * arming it never perturbs simulated behaviour (event order and
+ * fingerprints are host-time independent by construction). Defining
+ * NOVA_PROFILE_DISABLED removes even the branch at compile time.
+ *
+ * Host-time measurement is the one legitimate wall-clock consumer in
+ * the tree: readings only ever flow into host-side statistics, never
+ * into simulated state.
+ */
+// novalint:allow-file(wall-clock)
+
+#ifndef NOVA_SIM_PROFILE_HH
+#define NOVA_SIM_PROFILE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace nova::sim::profile
+{
+
+class Registry;
+class Scope;
+
+/** One profiled event boundary of one simulated object. */
+class Site
+{
+  public:
+    Site(std::string object_name, std::string kind_name)
+        : obj(std::move(object_name)), kindName(std::move(kind_name))
+    {
+    }
+
+    Site(const Site &) = delete;
+    Site &operator=(const Site &) = delete;
+
+    /** Owning object ("pe0.mpu", "sim", ...). */
+    const std::string &object() const { return obj; }
+
+    /** Event kind within the object ("work", "run", ...). */
+    const std::string &kind() const { return kindName; }
+
+    /** Dotted display name, "<object>.<kind>". */
+    std::string fullName() const { return obj + "." + kindName; }
+
+    std::uint64_t calls() const
+    {
+        return static_cast<std::uint64_t>(nCalls.value());
+    }
+    std::uint64_t totalNanos() const
+    {
+        return static_cast<std::uint64_t>(nTotalNanos.value());
+    }
+    std::uint64_t selfNanos() const
+    {
+        return static_cast<std::uint64_t>(nSelfNanos.value());
+    }
+
+    /** Register this site's counters under `g` (done by the Registry). */
+    void registerStats(stats::Group &g);
+
+    void
+    reset()
+    {
+        nCalls.reset();
+        nTotalNanos.reset();
+        nSelfNanos.reset();
+    }
+
+  private:
+    friend class Scope;
+
+    std::string obj;
+    std::string kindName;
+    stats::Scalar nCalls;
+    stats::Scalar nTotalNanos;
+    stats::Scalar nSelfNanos;
+};
+
+/** One aggregated line of a profile report. */
+struct Row
+{
+    std::string object; ///< "*" when aggregated across objects
+    std::string kind;
+    std::uint64_t calls = 0;
+    std::uint64_t totalNanos = 0;
+    std::uint64_t selfNanos = 0;
+
+    /** Scope entries per host second of scope-total time. */
+    double
+    eventsPerSec() const
+    {
+        return totalNanos == 0 ? 0
+                               : static_cast<double>(calls) * 1e9 /
+                                     static_cast<double>(totalNanos);
+    }
+};
+
+/**
+ * The process-wide site registry.
+ *
+ * Sites are created on first use and live for the process; their
+ * accumulators are reset per measured run. All access is
+ * single-threaded, like the simulation itself.
+ */
+class Registry
+{
+  public:
+    static Registry &instance();
+
+    /** Find or create the site for (object, kind). */
+    Site &site(const std::string &object, const std::string &kind);
+
+    /** @{ @name Arming
+     * Disarmed scopes cost one branch; armed scopes read the host clock
+     * twice and update their site.
+     */
+    static bool armed() { return armedFlag; }
+    void arm() { armedFlag = true; }
+    void disarm() { armedFlag = false; }
+    /** @} */
+
+    /** Zero every site's accumulators (start of a measured run). */
+    void reset();
+
+    /** All sites' counters as a stats group named "profile". */
+    stats::Group &statsGroup() { return group; }
+
+    /**
+     * Per-site rows, sorted by self time descending. With `aggregate`,
+     * rows with the same kind are folded across objects (object "*") —
+     * the per-PE split rarely matters, the per-kind one always does.
+     */
+    std::vector<Row> report(bool aggregate = false) const;
+
+    /** Human-readable table of report(aggregate=true). */
+    std::string table() const;
+
+  private:
+    Registry() = default;
+
+    friend class Scope;
+
+    static inline bool armedFlag = false;
+    std::map<std::pair<std::string, std::string>, std::unique_ptr<Site>>
+        sites;
+    stats::Group group{"profile"};
+    Scope *cur = nullptr; ///< innermost open scope (hierarchy spine)
+};
+
+/**
+ * RAII bracket around one profiled region. When the registry is
+ * disarmed, construction is a single branch and destruction a null
+ * check; when armed, the scope charges its duration to the site and its
+ * exclusive share to the parent scope's child time.
+ */
+class Scope
+{
+  public:
+    explicit Scope(Site &s)
+    {
+#if !defined(NOVA_PROFILE_DISABLED)
+        if (Registry::armed())
+            open(s);
+#else
+        (void)s;
+#endif
+    }
+
+    ~Scope()
+    {
+        if (site)
+            close();
+    }
+
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    void open(Site &s);
+    void close();
+
+    Site *site = nullptr;
+    Scope *parent = nullptr;
+    std::uint64_t startNanos = 0;
+    std::uint64_t childNanos = 0;
+};
+
+/** Monotonic host clock reading in nanoseconds. */
+inline std::uint64_t
+hostNow()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** The event-loop site ("sim.run"); its self time is kernel overhead. */
+Site &loopSite();
+
+} // namespace nova::sim::profile
+
+/**
+ * Bracket the rest of the enclosing block as one occurrence of `site`
+ * (a profile::Site reference). Near-zero cost while disarmed.
+ */
+#define NOVA_PROF_CONCAT2(a, b) a##b
+#define NOVA_PROF_CONCAT(a, b) NOVA_PROF_CONCAT2(a, b)
+#define NOVA_PROF_SCOPE(site) \
+    ::nova::sim::profile::Scope NOVA_PROF_CONCAT(nova_prof_scope_, \
+                                                 __LINE__)(site)
+
+#endif // NOVA_SIM_PROFILE_HH

@@ -7,6 +7,7 @@
 #include "baselines/polygraph.hh"
 #include "core/system.hh"
 #include "graph/partition.hh"
+#include "sim/event_queue.hh"
 #include "sim/logging.hh"
 #include "verify/replay.hh"
 #include "workloads/programs.hh"
@@ -327,7 +328,7 @@ runSingle(const FuzzedGraph &fuzzed, Algo algo, EngineKind kind,
     out.record.algo = algo;
     out.record.engine = kind;
 
-    auto execute = [&](VertexProgram &program) {
+    auto execute = [&opt, &engine, &out, &g, &map](VertexProgram &program) {
         RunResult r;
         if (opt.fault.enabled) {
             CorruptedProgram corrupted(program, opt.fault);
@@ -402,6 +403,40 @@ runCase(std::uint64_t seed, std::uint64_t index, const DiffOptions &opt)
             ++out.runsExecuted;
             SingleOutcome single =
                 runSingle(fuzzed, algo, kind, seed, index, opt);
+
+            if (opt.crossCheckQueueImpls && kind == EngineKind::Nova) {
+                // Replay the identical case on the other queue backend;
+                // the event-order fingerprints (folded into the record)
+                // must agree bit for bit.
+                ++out.runsExecuted;
+                const auto other =
+                    sim::EventQueue::defaultImpl() ==
+                            sim::EventQueue::Impl::Calendar
+                        ? sim::EventQueue::Impl::LegacyHeap
+                        : sim::EventQueue::Impl::Calendar;
+                sim::EventQueue::ScopedDefaultImpl forced(other);
+                const SingleOutcome twin =
+                    runSingle(fuzzed, algo, kind, seed, index, opt);
+                if (twin.record.fingerprint != single.record.fingerprint ||
+                    twin.record.recoveries != single.record.recoveries) {
+                    Divergence d;
+                    d.algo = algo;
+                    d.engine = kind;
+                    d.detail =
+                        "event-queue backend mismatch: fingerprint " +
+                        std::to_string(single.record.fingerprint) +
+                        " (default) vs " +
+                        std::to_string(twin.record.fingerprint) +
+                        " (alternate), recoveries " +
+                        std::to_string(single.record.recoveries) + " vs " +
+                        std::to_string(twin.record.recoveries);
+                    d.replayToken = encodeReplayToken(
+                        {seed, index, algo, kind, opt.fuzzer, opt.fault,
+                         opt.faultSchedule});
+                    out.divergences.push_back(std::move(d));
+                }
+            }
+
             out.runs.push_back(single.record);
             if (single.detail.empty())
                 continue;

@@ -91,6 +91,13 @@ struct DiffOptions
      * FaultSpec::recover to fault those.
      */
     std::string faultSchedule;
+    /**
+     * Run every NOVA case twice — once per event-queue backend (legacy
+     * binary heap, calendar queue) — and require bit-identical run
+     * records. Proves the queue fast path preserves event order on
+     * whatever the fuzzer generates.
+     */
+    bool crossCheckQueueImpls = false;
     /** PageRank comparison tolerance: |got - want| <= abs + rel*want. */
     double prAbsTol = 1e-9;
     double prRelTol = 1e-6;

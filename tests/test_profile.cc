@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests of the host-time profiler (sim/profile.hh): armed/disarmed
+ * parity, hierarchical self-time attribution, stats registration and
+ * per-run reset.
+ */
+// novalint:allow-file(wall-clock)
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <thread>
+
+#include "sim/event_queue.hh"
+#include "sim/profile.hh"
+
+using namespace nova::sim;
+using profile::Registry;
+
+namespace
+{
+
+/** Arm for the duration of one test, restoring the disarmed default. */
+class ArmedGuard
+{
+  public:
+    ArmedGuard()
+    {
+        Registry::instance().reset();
+        Registry::instance().arm();
+    }
+    ~ArmedGuard() { Registry::instance().disarm(); }
+};
+
+void
+spinFor(std::chrono::microseconds d)
+{
+    const auto start = std::chrono::steady_clock::now();
+    while (std::chrono::steady_clock::now() - start < d) {
+    }
+}
+
+} // namespace
+
+TEST(Profile, DisarmedScopesRecordNothing)
+{
+    Registry &reg = Registry::instance();
+    reg.disarm();
+    reg.reset();
+    profile::Site &site = reg.site("test.obj", "disarmed");
+    {
+        NOVA_PROF_SCOPE(site);
+        spinFor(std::chrono::microseconds(50));
+    }
+    EXPECT_EQ(site.calls(), 0u);
+    EXPECT_EQ(site.totalNanos(), 0u);
+    EXPECT_EQ(site.selfNanos(), 0u);
+}
+
+TEST(Profile, ArmedScopesAccumulate)
+{
+    ArmedGuard armed;
+    profile::Site &site =
+        Registry::instance().site("test.obj", "armed");
+    for (int i = 0; i < 3; ++i) {
+        NOVA_PROF_SCOPE(site);
+        spinFor(std::chrono::microseconds(100));
+    }
+    EXPECT_EQ(site.calls(), 3u);
+    EXPECT_GE(site.totalNanos(), 3u * 100'000u);
+    EXPECT_EQ(site.totalNanos(), site.selfNanos());
+}
+
+TEST(Profile, NestedScopesAttributeSelfTime)
+{
+    ArmedGuard armed;
+    Registry &reg = Registry::instance();
+    profile::Site &outer = reg.site("test.obj", "outer");
+    profile::Site &inner = reg.site("test.obj", "inner");
+    {
+        NOVA_PROF_SCOPE(outer);
+        spinFor(std::chrono::microseconds(200));
+        {
+            NOVA_PROF_SCOPE(inner);
+            spinFor(std::chrono::microseconds(400));
+        }
+    }
+    EXPECT_EQ(outer.calls(), 1u);
+    EXPECT_EQ(inner.calls(), 1u);
+    // Outer total covers both regions; outer self excludes the inner
+    // scope entirely.
+    EXPECT_GE(outer.totalNanos(), 600'000u);
+    EXPECT_GE(outer.selfNanos(), 200'000u);
+    EXPECT_LT(outer.selfNanos(), outer.totalNanos());
+    EXPECT_LE(outer.selfNanos() + inner.totalNanos(),
+              outer.totalNanos() + 50'000u); // clock-read slack
+    EXPECT_EQ(inner.totalNanos(), inner.selfNanos());
+}
+
+TEST(Profile, SiteIsStableAcrossLookups)
+{
+    Registry &reg = Registry::instance();
+    profile::Site &a = reg.site("test.obj", "stable");
+    profile::Site &b = reg.site("test.obj", "stable");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(a.fullName(), "test.obj.stable");
+}
+
+TEST(Profile, StatsRegistration)
+{
+    ArmedGuard armed;
+    Registry &reg = Registry::instance();
+    profile::Site &site = reg.site("test.obj", "stats");
+    {
+        NOVA_PROF_SCOPE(site);
+    }
+    stats::Group &g = reg.statsGroup();
+    EXPECT_TRUE(g.has("test.obj.stats.calls"));
+    EXPECT_TRUE(g.has("test.obj.stats.total_ns"));
+    EXPECT_TRUE(g.has("test.obj.stats.self_ns"));
+    EXPECT_EQ(g.get("test.obj.stats.calls"), 1.0);
+
+    std::map<std::string, double> flat;
+    g.collect(flat);
+    EXPECT_EQ(flat.at("profile.test.obj.stats.calls"), 1.0);
+}
+
+TEST(Profile, ResetZeroesAllSites)
+{
+    ArmedGuard armed;
+    Registry &reg = Registry::instance();
+    profile::Site &site = reg.site("test.obj", "reset");
+    {
+        NOVA_PROF_SCOPE(site);
+        spinFor(std::chrono::microseconds(20));
+    }
+    EXPECT_GT(site.calls(), 0u);
+    reg.reset();
+    EXPECT_EQ(site.calls(), 0u);
+    EXPECT_EQ(site.totalNanos(), 0u);
+    EXPECT_EQ(site.selfNanos(), 0u);
+}
+
+TEST(Profile, ReportSortsBySelfTimeAndAggregates)
+{
+    ArmedGuard armed;
+    Registry &reg = Registry::instance();
+    profile::Site &slow0 = reg.site("obj0", "slowkind");
+    profile::Site &slow1 = reg.site("obj1", "slowkind");
+    profile::Site &fast = reg.site("obj0", "fastkind");
+    for (profile::Site *s : {&slow0, &slow1}) {
+        NOVA_PROF_SCOPE(*s);
+        spinFor(std::chrono::microseconds(300));
+    }
+    {
+        NOVA_PROF_SCOPE(fast);
+        spinFor(std::chrono::microseconds(50));
+    }
+
+    const auto rows = reg.report(true);
+    ASSERT_GE(rows.size(), 2u);
+    // Aggregated: the two slowkind sites fold into one row that leads.
+    EXPECT_EQ(rows[0].kind, "slowkind");
+    EXPECT_EQ(rows[0].object, "*");
+    EXPECT_EQ(rows[0].calls, 2u);
+    for (std::size_t i = 1; i < rows.size(); ++i)
+        EXPECT_LE(rows[i].selfNanos, rows[i - 1].selfNanos);
+
+    const std::string table = reg.table();
+    EXPECT_NE(table.find("slowkind"), std::string::npos);
+    EXPECT_NE(table.find("fastkind"), std::string::npos);
+}
+
+TEST(Profile, EventLoopSiteMeasuresRun)
+{
+    ArmedGuard armed;
+    EventQueue eq;
+    int fired = 0;
+    for (int i = 0; i < 100; ++i)
+        eq.schedule(static_cast<Tick>(i) * 10, [&fired] { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 100);
+    profile::Site &loop = profile::loopSite();
+    EXPECT_EQ(loop.calls(), 1u);
+    EXPECT_GT(loop.totalNanos(), 0u);
+}
+
+TEST(Profile, ArmedRunsDoNotPerturbSimulation)
+{
+    // Event count, final tick and order fingerprint must be identical
+    // with the profiler armed and disarmed.
+    auto drive = [] {
+        EventQueue eq;
+        for (int i = 0; i < 1000; ++i)
+            eq.schedule(static_cast<Tick>(i % 97) * 1000, [] {});
+        eq.run();
+        return std::make_pair(eq.fingerprint(), eq.now());
+    };
+    Registry::instance().disarm();
+    const auto disarmed = drive();
+    const auto armed = [&] {
+        ArmedGuard g;
+        return drive();
+    }();
+    EXPECT_EQ(disarmed, armed);
+}

@@ -23,6 +23,10 @@
  *   --seed=<n>       mapping/graph seed                [1]
  *   --no-validate    skip the reference check
  *   --stats          dump all engine statistics
+ *   --profile        arm the host-time profiler; print a sorted table
+ *                    and profile.* extras after the run
+ *   --queue-impl=calendar|legacy  event-queue backend (overrides the
+ *                    NOVA_EQ_IMPL environment variable)   [calendar]
  *
  * Resilience (nova engine only; see docs/RESILIENCE.md):
  *   --faults=<schedule>   fault schedule (sim/fault.hh grammar)
@@ -57,6 +61,8 @@
  *                    NOT diverge; counted as a recovery)
  *   --faults=<schedule>  hardware fault schedule inside NOVA runs
  *   --replay=<tok>   re-run one recorded failing case
+ *   --cross-queue    run every NOVA case on both event-queue backends
+ *                    and require bit-identical fingerprints
  *   --verbose        print every case as it runs
  */
 
@@ -66,6 +72,7 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -73,8 +80,10 @@
 #include "baselines/polygraph.hh"
 #include "core/system.hh"
 #include "graph/generators.hh"
+#include "sim/event_queue.hh"
 #include "sim/fault.hh"
 #include "sim/logging.hh"
+#include "sim/profile.hh"
 #include "graph/graph_stats.hh"
 #include "graph/io.hh"
 #include "graph/partition.hh"
@@ -106,6 +115,8 @@ struct CliOptions
     std::uint64_t seed = 1;
     bool validate = true;
     bool dumpStats = false;
+    bool profile = false;
+    std::string queueImpl;
 
     // Resilience flags (nova engine only).
     std::string faultSchedule;
@@ -202,6 +213,10 @@ parseArgs(int argc, char **argv)
             o.validate = false;
         else if (std::strcmp(a, "--stats") == 0)
             o.dumpStats = true;
+        else if (std::strcmp(a, "--profile") == 0)
+            o.profile = true;
+        else if (takeValue(a, "--queue-impl=", o.queueImpl))
+            continue;
         else
             sim::fatal("unknown option '", a,
                        "' (see the header of tools/nova_cli.cc)");
@@ -410,6 +425,8 @@ verifyMain(int argc, char **argv)
             opt.faultSchedule = v;
         } else if (takeValue(a, "--replay=", v))
             replay_token = v;
+        else if (std::strcmp(a, "--cross-queue") == 0)
+            opt.crossCheckQueueImpls = true;
         else if (std::strcmp(a, "--verbose") == 0)
             verbose = true;
         else
@@ -448,7 +465,7 @@ verifyMain(int argc, char **argv)
     }
 
     const verify::FuzzSummary summary = verify::runFuzz(
-        seed, iterations, opt, [&](const verify::CaseOutcome &outcome) {
+        seed, iterations, opt, [verbose](const verify::CaseOutcome &outcome) {
             if (verbose)
                 std::printf("case #%llu: %s: %s\n",
                             static_cast<unsigned long long>(outcome.index),
@@ -492,6 +509,19 @@ cliMain(int argc, char **argv)
     const CliOptions o = parseArgs(argc, argv);
     if (!o.crashBundle.empty())
         sim::crash::setBundlePath(o.crashBundle);
+
+    std::optional<sim::EventQueue::ScopedDefaultImpl> forced_impl;
+    if (!o.queueImpl.empty()) {
+        if (o.queueImpl == "calendar")
+            forced_impl.emplace(sim::EventQueue::Impl::Calendar);
+        else if (o.queueImpl == "legacy")
+            forced_impl.emplace(sim::EventQueue::Impl::LegacyHeap);
+        else
+            sim::fatal("--queue-impl must be 'calendar' or 'legacy', not '",
+                       o.queueImpl, "'");
+    }
+    if (o.profile)
+        sim::profile::Registry::instance().arm();
 
     graph::Csr g = makeGraph(o);
     const bool needs_symmetric = o.workload == "cc" || o.workload == "bc";
@@ -581,6 +611,13 @@ cliMain(int argc, char **argv)
     }
     if (o.validate)
         std::printf("validation: %s\n", valid ? "OK" : "MISMATCH");
+    if (o.profile) {
+        std::printf("%s",
+                    sim::profile::Registry::instance().table().c_str());
+        for (const auto &[k, val] : r.extra)
+            if (k.rfind("profile.", 0) == 0)
+                std::printf("  %-42s %.6g\n", k.c_str(), val);
+    }
     if (o.dumpStats)
         for (const auto &[k, val] : r.extra)
             std::printf("  %-42s %.6g\n", k.c_str(), val);
