@@ -1,23 +1,29 @@
 /**
  * @file
- * The fixed host-performance smoke suite: BFS/SSSP/PR on an RMAT and a
- * road-grid graph at pinned seeds — six workloads whose event streams
- * are deterministic, so events/second on the host is comparable across
- * commits. Each workload runs on both event-queue backends (the legacy
- * binary heap and the calendar queue); the JSON report carries host
- * seconds, simulated ticks, executed events, events/sec and peak RSS
- * per workload, plus the hardware-independent calendar-vs-legacy
- * speedup, and asserts the two backends' event-order fingerprints are
- * bit-identical.
+ * The fixed host-performance smoke suite: BFS/SSSP/PR/CC/BC on an RMAT
+ * and a road-grid graph at pinned seeds — ten workloads whose event
+ * streams are deterministic, so events/second on the host is
+ * comparable across commits. Each workload runs on both event-queue
+ * backends (the legacy binary heap and the calendar queue); the JSON
+ * report carries host seconds, simulated ticks, executed events,
+ * events/sec, the host thread count and peak RSS per workload, plus
+ * the hardware-independent calendar-vs-legacy speedup, and asserts the
+ * two backends' event-order fingerprints are bit-identical.
  *
- * Usage: perf_smoke [--out=FILE] [--quick] [--reps=N]
+ * Usage: perf_smoke [--out=FILE] [--quick] [--reps=N] [--threads=N]
  *
  * The report goes to stdout; --out also writes it to FILE (the
- * committed BENCH_5.json is produced this way by
+ * committed BENCH_6.json is produced this way by
  * scripts/bench_json.sh). --quick shrinks the graphs for per-commit CI.
  * Each workload/backend pair runs N times (default 3) and reports the
  * minimum host time, the noise-robust estimator on shared machines;
  * all repetitions must produce identical fingerprints.
+ *
+ * --threads=N (N > 1) switches to the sharded conservative-PDES
+ * scheduler (docs/PARALLEL.md): one GPN shard per thread with
+ * deterministic merge armed. The topology then differs from the serial
+ * suite (N GPNs instead of 1), so parallel records are comparable with
+ * other records at the same thread count, not with --threads=1 ones.
  */
 
 #include <sys/resource.h>
@@ -36,6 +42,7 @@
 #include "graph/partition.hh"
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
+#include "workloads/bc.hh"
 #include "workloads/programs.hh"
 
 using namespace nova;
@@ -55,6 +62,8 @@ constexpr Spec kSuite[] = {
     {"bfs_rmat", "bfs", "rmat"},   {"bfs_grid", "bfs", "grid"},
     {"sssp_rmat", "sssp", "rmat"}, {"sssp_grid", "sssp", "grid"},
     {"pr_rmat", "pr", "rmat"},     {"pr_grid", "pr", "grid"},
+    {"cc_rmat", "cc", "rmat"},     {"cc_grid", "cc", "grid"},
+    {"bc_rmat", "bc", "rmat"},     {"bc_grid", "bc", "grid"},
 };
 
 constexpr std::uint64_t kGraphSeed = 42; // pinned: the suite IS the seed
@@ -95,11 +104,17 @@ struct Measured
 
 Measured
 runOnce(const Spec &spec, const graph::Csr &g,
-        sim::EventQueue::Impl impl)
+        sim::EventQueue::Impl impl, unsigned threads)
 {
     sim::EventQueue::ScopedDefaultImpl forced(impl);
 
     core::NovaConfig cfg = core::NovaConfig{}.scaled(1000);
+    if (threads > 1) {
+        // Sharded scheduler: one GPN shard per host thread.
+        cfg.numGpns = threads;
+        cfg.threads = threads;
+        cfg.deterministicMerge = true;
+    }
     core::NovaSystem system(cfg);
     const auto map = graph::randomMapping(g.numVertices(),
                                           cfg.totalPes(), 1);
@@ -107,12 +122,23 @@ runOnce(const Spec &spec, const graph::Csr &g,
 
     const auto start = std::chrono::steady_clock::now();
     workloads::RunResult r;
+    double extra_events = 0, extra_fp = 0;
     if (std::strcmp(spec.workload, "bfs") == 0) {
         workloads::BfsProgram prog(src);
         r = system.run(prog, g, map);
     } else if (std::strcmp(spec.workload, "sssp") == 0) {
         workloads::SsspProgram prog(src);
         r = system.run(prog, g, map);
+    } else if (std::strcmp(spec.workload, "cc") == 0) {
+        workloads::CcProgram prog;
+        r = system.run(prog, g, map);
+    } else if (std::strcmp(spec.workload, "bc") == 0) {
+        const workloads::BcResult bc =
+            workloads::runBc(system, g, map, src);
+        r = bc.forward;
+        r.ticks = bc.totalTicks();
+        extra_events = bc.backward.extra.at("sim.events");
+        extra_fp = bc.backward.extra.at("sim.fingerprint");
     } else {
         workloads::PageRankProgram prog(0.85, 1e-9, 10);
         r = system.run(prog, g, map);
@@ -123,19 +149,21 @@ runOnce(const Spec &spec, const graph::Csr &g,
     m.hostSeconds =
         std::chrono::duration<double>(end - start).count();
     m.simTicks = static_cast<double>(r.ticks);
-    m.events = r.extra.at("sim.events");
-    m.fingerprint = r.extra.at("sim.fingerprint");
+    m.events = r.extra.at("sim.events") + extra_events;
+    // BC runs two phases; fold the backward fingerprint in so the
+    // determinism check still covers the whole run.
+    m.fingerprint = r.extra.at("sim.fingerprint") + extra_fp;
     return m;
 }
 
 /** Best (minimum host time) of `reps` identical runs. */
 Measured
 runBest(const Spec &spec, const graph::Csr &g,
-        sim::EventQueue::Impl impl, unsigned reps)
+        sim::EventQueue::Impl impl, unsigned reps, unsigned threads)
 {
     Measured best;
     for (unsigned rep = 0; rep < reps; ++rep) {
-        const Measured m = runOnce(spec, g, impl);
+        const Measured m = runOnce(spec, g, impl, threads);
         if (rep == 0) {
             best = m;
             continue;
@@ -174,6 +202,7 @@ main(int argc, char **argv)
     std::string out_path;
     bool quick = false;
     unsigned reps = 3;
+    unsigned threads = 1;
     for (int i = 1; i < argc; ++i) {
         const char *a = argv[i];
         if (std::strncmp(a, "--out=", 6) == 0)
@@ -182,31 +211,42 @@ main(int argc, char **argv)
             quick = true;
         else if (std::strncmp(a, "--reps=", 7) == 0)
             reps = static_cast<unsigned>(std::strtoul(a + 7, nullptr, 10));
+        else if (std::strncmp(a, "--threads=", 10) == 0)
+            threads =
+                static_cast<unsigned>(std::strtoul(a + 10, nullptr, 10));
         else
             sim::fatal("unknown option '", a,
                        "' (usage: perf_smoke [--out=FILE] [--quick] "
-                       "[--reps=N])");
+                       "[--reps=N] [--threads=N])");
     }
     if (reps == 0)
         sim::fatal("--reps must be at least 1");
+    if (threads == 0)
+        threads = 1;
 
     double agg_events = 0, agg_host = 0;
     double agg_legacy_events = 0, agg_legacy_host = 0;
     std::string json;
     json += "{\n";
-    json += "  \"schema\": \"nova-bench-5\",\n";
+    json += "  \"schema\": \"nova-bench-6\",\n";
     json += std::string("  \"quick\": ") + (quick ? "true" : "false") +
             ",\n";
+    json += "  \"threads\": " + std::to_string(threads) + ",\n";
     json += "  \"workloads\": {\n";
 
     bool first = true;
     for (const Spec &spec : kSuite) {
-        const graph::Csr g = makeGraph(spec.family, quick);
+        graph::Csr g = makeGraph(spec.family, quick);
+        // CC finds weakly connected components and BC's backward pass
+        // walks reverse edges: both need the symmetric closure.
+        if (std::strcmp(spec.workload, "cc") == 0 ||
+            std::strcmp(spec.workload, "bc") == 0)
+            g = graph::symmetrize(g);
 
-        const Measured legacy =
-            runBest(spec, g, sim::EventQueue::Impl::LegacyHeap, reps);
-        const Measured cal =
-            runBest(spec, g, sim::EventQueue::Impl::Calendar, reps);
+        const Measured legacy = runBest(
+            spec, g, sim::EventQueue::Impl::LegacyHeap, reps, threads);
+        const Measured cal = runBest(
+            spec, g, sim::EventQueue::Impl::Calendar, reps, threads);
 
         // The suite doubles as an ordering check: identical inputs must
         // produce identical event streams on both backends.
@@ -242,6 +282,7 @@ main(int argc, char **argv)
                              ? legacy.hostSeconds / cal.hostSeconds
                              : 0);
         appendJsonNumber(json, "fingerprint", cal.fingerprint);
+        appendJsonNumber(json, "threads", threads);
         appendJsonNumber(json, "peak_rss_kb", peakRssKb(), true);
         json += "   }";
 
@@ -265,8 +306,8 @@ main(int argc, char **argv)
     appendJsonNumber(json, "events_per_sec", agg_eps);
     appendJsonNumber(json, "legacy_events_per_sec", agg_legacy_eps);
     appendJsonNumber(json, "speedup_vs_legacy",
-                     agg_legacy_eps > 0 ? agg_eps / agg_legacy_eps : 0,
-                     true);
+                     agg_legacy_eps > 0 ? agg_eps / agg_legacy_eps : 0);
+    appendJsonNumber(json, "threads", threads, true);
     json += "  }\n}\n";
 
     std::fputs(json.c_str(), stdout);
@@ -277,8 +318,9 @@ main(int argc, char **argv)
         f << json;
     }
     std::fprintf(stderr, "aggregate: %.0f ev/s calendar vs %.0f ev/s "
-                         "legacy (%.2fx)\n",
+                         "legacy (%.2fx) on %u thread%s\n",
                  agg_eps, agg_legacy_eps,
-                 agg_legacy_eps > 0 ? agg_eps / agg_legacy_eps : 0);
+                 agg_legacy_eps > 0 ? agg_eps / agg_legacy_eps : 0,
+                 threads, threads == 1 ? "" : "s");
     return 0;
 }

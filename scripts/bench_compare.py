@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate and compare nova-bench-5 perf records (docs/CI.md).
+"""Validate and compare nova-bench-6 perf records (docs/CI.md).
 
 Modes:
   bench_compare.py --validate FILE
@@ -26,12 +26,14 @@ SUITE = [
     "bfs_rmat", "bfs_grid",
     "sssp_rmat", "sssp_grid",
     "pr_rmat", "pr_grid",
+    "cc_rmat", "cc_grid",
+    "bc_rmat", "bc_grid",
 ]
 
 NUMERIC_FIELDS = [
     "sim_ticks", "events", "host_seconds", "events_per_sec",
     "legacy_host_seconds", "legacy_events_per_sec", "speedup_vs_legacy",
-    "fingerprint", "peak_rss_kb",
+    "fingerprint", "threads", "peak_rss_kb",
 ]
 
 
@@ -42,9 +44,9 @@ def load(path):
 
 def validate(doc, path="<record>"):
     errors = []
-    if doc.get("schema") != "nova-bench-5":
+    if doc.get("schema") != "nova-bench-6":
         errors.append(f"{path}: schema is {doc.get('schema')!r}, "
-                      "expected 'nova-bench-5'")
+                      "expected 'nova-bench-6'")
     workloads = doc.get("workloads", {})
     for name in SUITE:
         w = workloads.get(name)
@@ -56,12 +58,13 @@ def validate(doc, path="<record>"):
                 errors.append(f"{path}: {name}.{field} missing or "
                               "non-numeric")
         for field in ("events", "host_seconds", "events_per_sec",
-                      "sim_ticks", "peak_rss_kb"):
+                      "sim_ticks", "threads", "peak_rss_kb"):
             if isinstance(w.get(field), (int, float)) and w[field] <= 0:
                 errors.append(f"{path}: {name}.{field} must be positive")
     agg = doc.get("aggregate", {})
     for field in ("events", "host_seconds", "events_per_sec",
-                  "legacy_events_per_sec", "speedup_vs_legacy"):
+                  "legacy_events_per_sec", "speedup_vs_legacy",
+                  "threads"):
         if not isinstance(agg.get(field), (int, float)) or agg[field] <= 0:
             errors.append(f"{path}: aggregate.{field} missing or "
                           "non-positive")
@@ -110,11 +113,12 @@ def synthetic_record(eps):
     for entry in w.values():
         entry["events_per_sec"] = eps
     return {
-        "schema": "nova-bench-5",
+        "schema": "nova-bench-6",
         "workloads": w,
         "aggregate": {
             "events": 1.0, "host_seconds": 1.0, "events_per_sec": eps,
             "legacy_events_per_sec": eps, "speedup_vs_legacy": 1.0,
+            "threads": 1.0,
         },
     }
 
@@ -164,7 +168,7 @@ def main():
         for e in errors:
             print(f"error: {e}", file=sys.stderr)
         if not errors:
-            print(f"{args.validate}: valid nova-bench-5 record")
+            print(f"{args.validate}: valid nova-bench-6 record")
         return 1 if errors else 0
 
     baseline, current = (load(p) for p in args.compare)

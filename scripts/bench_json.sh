@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 #
-# Generate the machine-readable perf record (BENCH_5.json) from the
-# fixed 6-workload perf_smoke suite (docs/CI.md).
+# Generate the machine-readable perf record (BENCH_6.json) from the
+# fixed 10-workload perf_smoke suite (docs/CI.md).
 #
 # Usage: scripts/bench_json.sh [OUT_JSON]
 #
 # Environment:
-#   BUILD_DIR    build tree to use                  [build]
-#   BENCH_QUICK  1 = pass --quick (smaller graphs)  [0]
+#   BUILD_DIR      build tree to use                  [build]
+#   BENCH_QUICK    1 = pass --quick (smaller graphs)  [0]
+#   BENCH_THREADS  host threads for the sharded
+#                  scheduler (>1 switches to the
+#                  conservative-PDES per-GPN shards)  [1]
 #
 # The suite runs every workload on both event-queue backends and fails
 # hard if their event-order fingerprints differ, so a green run is also
@@ -16,10 +19,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_5.json}"
+OUT="${1:-BENCH_6.json}"
 BUILD="${BUILD_DIR:-build}"
+THREADS="${BENCH_THREADS:-1}"
 
-EXTRA=()
+EXTRA=(--threads="${THREADS}")
 if [[ "${BENCH_QUICK:-0}" == "1" ]]; then
     EXTRA+=(--quick)
 fi
@@ -32,4 +36,4 @@ if [[ ! -x "${BUILD}/bench/perf_smoke" ]]; then
 fi
 
 "${BUILD}/bench/perf_smoke" --out="${OUT}" "${EXTRA[@]}" >/dev/null
-echo "bench_json.sh: wrote ${OUT}"
+echo "bench_json.sh: wrote ${OUT} (${THREADS} thread(s))"

@@ -6,6 +6,8 @@
 #      (unit tests, novalint tree scan, verify-smoke differential fuzz)
 #      — any sanitizer report is fatal (-fno-sanitize-recover).
 #   2. Release (RelWithDebInfo) build with -Werror; full ctest.
+#   2c. ThreadSanitizer build running the parallel-scheduler battery
+#      and a --cross-sched differential smoke (docs/PARALLEL.md).
 #   3. clang-tidy over the changed-most sources when available
 #      (opt-in: CHECK_CLANG_TIDY=1).
 #
@@ -45,6 +47,22 @@ for seed in 3 17 91; do
     ./build-san/tools/nova_cli verify --fuzz=10 --seed="${seed}" \
         --faults="${SOAK_FAULTS}"
 done
+
+# 2c. ThreadSanitizer gate: the conservative-PDES scheduler's worker
+#     pool, mailboxes and sharded fabric under TSan. Runs the dedicated
+#     parallel battery (multi-thread inside each test) plus a sharded
+#     differential smoke rather than the full suite — TSan slows the
+#     serial tests ~10x without adding thread coverage there.
+echo "=== configure build-tsan (ThreadSanitizer) ==="
+cmake -B build-tsan -S . -DNOVA_WERROR=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DNOVA_SANITIZE=thread >/dev/null
+echo "=== build build-tsan ==="
+cmake --build build-tsan -j "${JOBS}"
+echo "=== TSan: parallel-scheduler battery ==="
+./build-tsan/tests/nova_tests --gtest_filter='Parallel*'
+echo "=== TSan: cross-sched differential smoke ==="
+./build-tsan/tools/nova_cli verify --fuzz=6 --seed=7 --engines=nova \
+    --cross-sched=4
 
 # 3. Optional clang-tidy pass (mirrors the novalint rules natively
 #    expressible in clang-tidy; see .clang-tidy).

@@ -55,4 +55,36 @@ if ! diff "${WORK}/fwhole.txt" "${WORK}/fresumed.txt"; then
 fi
 grep -q "recovered" "${WORK}/fresumed.txt"
 
+# Sharded-scheduler round trip (docs/PARALLEL.md): a checkpoint written
+# by a 4-thread run must resume bit-identically on 1 thread, and the
+# whole-run output itself must not depend on the thread count.
+PARGS=(run --engine=nova --workload=pr --graph=uniform:260:1700 --seed=5
+       --gpns=2 --deterministic-merge)
+echo "=== parallel round trip (4 threads -> 1 thread) ==="
+"${CLI}" "${PARGS[@]}" --threads=1 | tee "${WORK}/pwhole.txt"
+"${CLI}" "${PARGS[@]}" --threads=4 | tee "${WORK}/pwhole4.txt"
+if ! diff "${WORK}/pwhole.txt" "${WORK}/pwhole4.txt"; then
+    echo "ckpt_roundtrip: thread count changed the run output" >&2
+    exit 1
+fi
+grep -q "merged fingerprint: 0x" "${WORK}/pwhole.txt"
+"${CLI}" "${PARGS[@]}" --threads=4 --stop-after=3 \
+    --checkpoint-file="${CKPT}" >/dev/null
+"${CLI}" "${PARGS[@]}" --threads=1 --resume="${CKPT}" \
+    | tee "${WORK}/presumed.txt"
+if ! diff "${WORK}/pwhole.txt" "${WORK}/presumed.txt"; then
+    echo "ckpt_roundtrip: parallel resume diverged from the whole run" >&2
+    exit 1
+fi
+
+echo "=== parallel round trip (1 thread -> 4 threads) ==="
+"${CLI}" "${PARGS[@]}" --threads=1 --stop-after=3 \
+    --checkpoint-file="${CKPT}" >/dev/null
+"${CLI}" "${PARGS[@]}" --threads=4 --resume="${CKPT}" \
+    | tee "${WORK}/presumed4.txt"
+if ! diff "${WORK}/pwhole.txt" "${WORK}/presumed4.txt"; then
+    echo "ckpt_roundtrip: widened parallel resume diverged" >&2
+    exit 1
+fi
+
 echo "ckpt_roundtrip: OK"

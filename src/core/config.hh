@@ -125,6 +125,25 @@ struct NovaConfig
     std::uint64_t watchdogStrikes = 8;
     /** @} */
 
+    /** @{ @name Parallel scheduling (conservative PDES, docs/PARALLEL.md)
+     *
+     * threads = 0 (default) keeps the serial single-queue scheduler,
+     * bit-compatible with earlier releases. threads >= 1 shards the
+     * event queue per GPN across that many host worker threads with
+     * window-barrier synchronization (threads = 1 runs the sharded
+     * model sequentially — same fingerprints as any other thread
+     * count, which is the determinism contract test_parallel checks).
+     */
+    std::uint32_t threads = 0;
+    /**
+     * Also produce the canonical merged (tick, priority, shard, seq)
+     * order fingerprint across shards ("sim.mergedFingerprint").
+     * Slightly slower (every executed event is traced); thread-count
+     * invariant like the per-shard fingerprints.
+     */
+    bool deterministicMerge = false;
+    /** @} */
+
     std::uint32_t totalPes() const { return numGpns * pesPerGpn; }
 
     sim::Tick clockPeriod() const { return sim::periodFromGHz(clockGHz); }

@@ -8,10 +8,12 @@
 #include "core/mgu.hh"
 #include "core/mpu.hh"
 #include "core/vmu.hh"
+#include "noc/sharded.hh"
 #include "sim/checkpoint.hh"
 #include "sim/event_queue.hh"
 #include "sim/fault.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 #include "sim/profile.hh"
 
 namespace nova::core
@@ -48,8 +50,56 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
 
     program.bind(g);
 
-    sim::EventQueue eq;
-    RunCounters counters;
+    // threads == 0: the original serial scheduler, bit-compatible with
+    // earlier releases. threads >= 1: conservative-PDES sharding, one
+    // shard (event queue) per GPN, run by that many host worker
+    // threads (docs/PARALLEL.md). The sharded model is deterministic
+    // in its own right — fingerprints depend on the shard count
+    // (numGpns), never on the thread count.
+    const bool sharded = cfg.threads > 0;
+    if (sharded) {
+        if (!cfg.faultSchedule.empty())
+            sim::fatal("--threads does not support fault injection (the "
+                       "injector's draw order is schedule-global)");
+        if (cfg.watchdogIntervalEvents > 0)
+            sim::fatal("--threads does not support the watchdog (its "
+                       "probes read cross-shard state mid-window)");
+        if (cfg.fabric != noc::FabricKind::Hierarchical)
+            sim::fatal("--threads requires the hierarchical fabric (the "
+                       "conservative lookahead comes from the crossbar)");
+    }
+
+    noc::NetworkConfig ncfg = cfg.net;
+    ncfg.numPes = num_pes;
+    ncfg.pesPerGpn = cfg.pesPerGpn;
+
+    std::optional<sim::EventQueue> serial_eq;
+    std::optional<sim::ParallelScheduler> sched;
+    if (sharded) {
+        sim::ParallelScheduler::Config pcfg;
+        pcfg.numShards = cfg.numGpns;
+        pcfg.numThreads = cfg.threads;
+        pcfg.lookahead =
+            noc::ShardedHierarchicalNetwork::minCrossLookahead(ncfg);
+        pcfg.deterministicMerge = cfg.deterministicMerge;
+        pcfg.impl = sim::EventQueue::defaultImpl();
+        sched.emplace(pcfg);
+    } else {
+        serial_eq.emplace();
+    }
+    // The queue a PE's components schedule on: its GPN's shard, or the
+    // one serial queue.
+    auto queueFor = [&serial_eq, &sched, sharded,
+                     this](std::uint32_t pe) -> sim::EventQueue & {
+        return sharded ? sched->shard(pe / cfg.pesPerGpn) : *serial_eq;
+    };
+    // Message counters are per GPN in sharded mode (each shard's
+    // components update only their own), summed for the final result.
+    std::vector<RunCounters> counters(sharded ? cfg.numGpns : 1);
+    auto countersFor = [&counters, sharded,
+                        this](std::uint32_t pe) -> RunCounters & {
+        return counters[sharded ? pe / cfg.pesPerGpn : 0];
+    };
 
     // Each run reports its own host-time profile, not the process's.
     if (sim::profile::Registry::armed())
@@ -63,45 +113,59 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
     if (!cfg.faultSchedule.empty()) {
         injector.emplace(cfg.faultSeed);
         injector->configure(cfg.faultSchedule);
-        eq.setFaultInjector(&*injector);
+        serial_eq->setFaultInjector(&*injector);
     }
-    if (cfg.maxTicks > 0 || cfg.maxEvents > 0)
-        eq.setGuard(cfg.maxTicks, cfg.maxEvents);
+    if (cfg.maxTicks > 0 || cfg.maxEvents > 0) {
+        if (sharded)
+            sched->setGuard(cfg.maxTicks, cfg.maxEvents);
+        else
+            serial_eq->setGuard(cfg.maxTicks, cfg.maxEvents);
+    }
 
-    noc::NetworkConfig ncfg = cfg.net;
-    ncfg.numPes = num_pes;
-    ncfg.pesPerGpn = cfg.pesPerGpn;
-    auto net = noc::makeNetwork(cfg.fabric, "net", eq, ncfg);
+    std::unique_ptr<noc::Network> net;
+    noc::ShardedHierarchicalNetwork *sharded_net = nullptr;
+    if (sharded) {
+        auto sn = std::make_unique<noc::ShardedHierarchicalNetwork>(
+            "net", *sched, ncfg);
+        sharded_net = sn.get();
+        net = std::move(sn);
+    } else {
+        net = noc::makeNetwork(cfg.fabric, "net", *serial_eq, ncfg);
+    }
 
     std::vector<std::unique_ptr<mem::MemorySystem>> edge_mems;
     for (std::uint32_t gpn = 0; gpn < cfg.numGpns; ++gpn) {
         edge_mems.push_back(std::make_unique<mem::MemorySystem>(
-            "gpn" + std::to_string(gpn) + ".edgeMem", eq, cfg.edgeMem,
+            "gpn" + std::to_string(gpn) + ".edgeMem",
+            queueFor(gpn * cfg.pesPerGpn), cfg.edgeMem,
             cfg.edgeChannelsPerGpn));
     }
 
     std::vector<PeParts> pes(num_pes);
     for (std::uint32_t pe = 0; pe < num_pes; ++pe) {
         const std::string base = "pe" + std::to_string(pe);
+        sim::EventQueue &peq = queueFor(pe);
         PeParts &p = pes[pe];
         p.store = std::make_unique<VertexStore>(g, map, pe, cfg, program);
         p.vertexMem = std::make_unique<mem::MemorySystem>(
-            base + ".vertexMem", eq, cfg.vertexMem, 1);
+            base + ".vertexMem", peq, cfg.vertexMem, 1);
         mem::CacheConfig ccfg;
         ccfg.sizeBytes = cfg.cacheBytesPerPe;
         ccfg.lineBytes = cfg.blockBytes;
         ccfg.numMshrs = cfg.cacheMshrs;
         ccfg.hitLatency = cfg.clockPeriod();
         p.cache = std::make_unique<mem::DirectMappedCache>(
-            base + ".cache", eq, ccfg, *p.vertexMem);
-        p.vmu = std::make_unique<Vmu>(base + ".vmu", eq, cfg, *p.store,
+            base + ".cache", peq, ccfg, *p.vertexMem);
+        p.vmu = std::make_unique<Vmu>(base + ".vmu", peq, cfg, *p.store,
                                       *p.vertexMem, program);
-        p.mpu = std::make_unique<Mpu>(base + ".mpu", eq, cfg, pe, *p.store,
-                                      *p.cache, *net, *p.vmu, program, map,
-                                      counters);
-        p.mgu = std::make_unique<Mgu>(base + ".mgu", eq, cfg, pe, *p.store,
+        p.mpu = std::make_unique<Mpu>(base + ".mpu", peq, cfg, pe,
+                                      *p.store, *p.cache, *net, *p.vmu,
+                                      program, map, countersFor(pe));
+        p.mgu = std::make_unique<Mgu>(base + ".mgu", peq, cfg, pe,
+                                      *p.store,
                                       *edge_mems[pe / cfg.pesPerGpn], *net,
-                                      *p.vmu, program, map, counters);
+                                      *p.vmu, program, map,
+                                      countersFor(pe));
     }
     for (auto &p : pes)
         p.mpu->startup();
@@ -112,13 +176,19 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
     // event-order fingerprint.
     std::optional<sim::Watchdog> watchdog;
     if (cfg.watchdogIntervalEvents > 0) {
-        watchdog.emplace(eq, cfg.watchdogIntervalEvents,
+        watchdog.emplace(*serial_eq, cfg.watchdogIntervalEvents,
                          static_cast<std::uint32_t>(cfg.watchdogStrikes));
         watchdog->addProgress("messagesProcessed", [&counters] {
-            return counters.messagesProcessed;
+            std::uint64_t n = 0;
+            for (const RunCounters &c : counters)
+                n += c.messagesProcessed;
+            return n;
         });
         watchdog->addProgress("messagesGenerated", [&counters] {
-            return counters.messagesGenerated;
+            std::uint64_t n = 0;
+            for (const RunCounters &c : counters)
+                n += c.messagesGenerated;
+            return n;
         });
         watchdog->addProgress("memAccesses", [&pes, &edge_mems] {
             double n = 0;
@@ -156,8 +226,9 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
     // Crash-bundle context: a PanicError escaping the run loop gets the
     // recent-event ring and a stats snapshot written next to the replay
     // token before the components unwind.
-    sim::crash::Scope crash_scope(&eq, [&pes, &net,
-                                        &edge_mems](std::ostream &os) {
+    sim::crash::Scope crash_scope(
+        sharded ? &sched->shard(0) : &*serial_eq,
+        [&pes, &net, &edge_mems](std::ostream &os) {
         net->statistics().dump(os);
         for (const auto &em : edge_mems)
             em->statistics().dump(os);
@@ -221,17 +292,48 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
             w.u64("iter", at_iter);
             w.str("faultSchedule", cfg.faultSchedule);
             w.u64("faultSeed", cfg.faultSeed);
+            // Scheduler-mode marker: 0 = serial, else the shard count.
+            // Resume requires the same mode and shard count; the host
+            // thread count is free to differ (the sharded schedule is
+            // thread-count invariant).
+            w.u64("shards", sharded ? cfg.numGpns : 0);
             w.section("eventq");
-            sim::Tick tick = 0;
-            std::uint64_t next_seq = 0, executed = 0, fp = 0;
-            eq.saveSchedulingState(tick, next_seq, executed, fp);
-            w.u64("tick", tick);
-            w.u64("nextSeq", next_seq);
-            w.u64("executed", executed);
-            w.u64("fingerprint", fp);
+            if (sharded) {
+                for (std::uint32_t s = 0; s < cfg.numGpns; ++s) {
+                    sim::Tick tick = 0;
+                    std::uint64_t next_seq = 0, executed = 0, fp = 0;
+                    sched->shard(s).saveSchedulingState(tick, next_seq,
+                                                        executed, fp);
+                    const std::string sfx = std::to_string(s);
+                    w.u64("tick" + sfx, tick);
+                    w.u64("nextSeq" + sfx, next_seq);
+                    w.u64("executed" + sfx, executed);
+                    w.u64("fingerprint" + sfx, fp);
+                }
+                w.u64("mergedFingerprint", sched->mergedFingerprint());
+            } else {
+                sim::Tick tick = 0;
+                std::uint64_t next_seq = 0, executed = 0, fp = 0;
+                serial_eq->saveSchedulingState(tick, next_seq, executed,
+                                               fp);
+                w.u64("tick", tick);
+                w.u64("nextSeq", next_seq);
+                w.u64("executed", executed);
+                w.u64("fingerprint", fp);
+            }
             w.section("counters");
-            w.u64("messagesProcessed", counters.messagesProcessed);
-            w.u64("messagesGenerated", counters.messagesGenerated);
+            std::vector<std::uint64_t> processed, generated;
+            for (const RunCounters &c : counters) {
+                processed.push_back(c.messagesProcessed);
+                generated.push_back(c.messagesGenerated);
+            }
+            if (sharded) {
+                w.u64vec("messagesProcessed", processed);
+                w.u64vec("messagesGenerated", generated);
+            } else {
+                w.u64("messagesProcessed", processed[0]);
+                w.u64("messagesGenerated", generated[0]);
+            }
             w.section("injector");
             w.u64("present", injector ? 1 : 0);
             if (injector)
@@ -285,15 +387,54 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
                        "the same --faults)");
         if (r.u64("faultSeed") != cfg.faultSeed)
             sim::fatal("checkpoint fault seed mismatch");
+        const std::uint64_t ck_shards = r.u64("shards");
+        if (ck_shards != (sharded ? cfg.numGpns : 0))
+            sim::fatal("checkpoint scheduler mode mismatch: written with ",
+                       ck_shards == 0
+                           ? std::string("the serial scheduler")
+                           : std::to_string(ck_shards) + " shards",
+                       ", resuming with ",
+                       sharded ? std::to_string(cfg.numGpns) + " shards"
+                               : std::string("the serial scheduler"),
+                       " (--threads toggles sharding; the thread count "
+                       "itself is free)");
         r.section("eventq");
-        const sim::Tick tick = r.u64("tick");
-        const std::uint64_t next_seq = r.u64("nextSeq");
-        const std::uint64_t executed = r.u64("executed");
-        const std::uint64_t fp = r.u64("fingerprint");
-        eq.restoreSchedulingState(tick, next_seq, executed, fp);
+        if (sharded) {
+            for (std::uint32_t s = 0; s < cfg.numGpns; ++s) {
+                const std::string sfx = std::to_string(s);
+                const sim::Tick tick = r.u64("tick" + sfx);
+                const std::uint64_t next_seq = r.u64("nextSeq" + sfx);
+                const std::uint64_t executed = r.u64("executed" + sfx);
+                const std::uint64_t fp = r.u64("fingerprint" + sfx);
+                sched->shard(s).restoreSchedulingState(tick, next_seq,
+                                                       executed, fp);
+            }
+            sched->setMergedFingerprint(r.u64("mergedFingerprint"));
+        } else {
+            const sim::Tick tick = r.u64("tick");
+            const std::uint64_t next_seq = r.u64("nextSeq");
+            const std::uint64_t executed = r.u64("executed");
+            const std::uint64_t fp = r.u64("fingerprint");
+            serial_eq->restoreSchedulingState(tick, next_seq, executed,
+                                              fp);
+        }
         r.section("counters");
-        counters.messagesProcessed = r.u64("messagesProcessed");
-        counters.messagesGenerated = r.u64("messagesGenerated");
+        if (sharded) {
+            const std::vector<std::uint64_t> processed =
+                r.u64vec("messagesProcessed");
+            const std::vector<std::uint64_t> generated =
+                r.u64vec("messagesGenerated");
+            if (processed.size() != counters.size() ||
+                generated.size() != counters.size())
+                sim::fatal("checkpoint counter shard count mismatch");
+            for (std::size_t i = 0; i < counters.size(); ++i) {
+                counters[i].messagesProcessed = processed[i];
+                counters[i].messagesGenerated = generated[i];
+            }
+        } else {
+            counters[0].messagesProcessed = r.u64("messagesProcessed");
+            counters[0].messagesGenerated = r.u64("messagesGenerated");
+        }
         r.section("injector");
         const bool had_injector = r.u64("present") != 0;
         if (had_injector != injector.has_value())
@@ -358,7 +499,14 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
             // A resumed run re-enters the loop at the injection step:
             // the checkpoint was written post-barrier, pre-injection.
             if (!resume_entry) {
-                eq.run();
+                if (sharded) {
+                    sched->runUntilQuiescent();
+                    // Quiescence is the one point the per-shard stat
+                    // deltas may fold into the reportable Scalars.
+                    sharded_net->foldStats();
+                } else {
+                    serial_eq->run();
+                }
                 NOVA_ASSERT(net->messagesInNetwork() == 0,
                             "drained with messages in flight");
                 if (watchdog)
@@ -439,13 +587,15 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
                     "quiescent with pending VMU work");
     }
 
-    result.ticks = eq.now();
+    result.ticks = sharded ? sched->now() : serial_eq->now();
     result.props.resize(g.numVertices());
     for (graph::VertexId v = 0; v < g.numVertices(); ++v)
         result.props[v] =
             pes[map.partOf(v)].store->cur(map.localOf(v));
-    result.messagesProcessed = counters.messagesProcessed;
-    result.messagesGenerated = counters.messagesGenerated;
+    for (const RunCounters &c : counters) {
+        result.messagesProcessed += c.messagesProcessed;
+        result.messagesGenerated += c.messagesGenerated;
+    }
 
     double coalesced = 0;
     double useful_prefetch = 0, wasteful_prefetch = 0;
@@ -531,11 +681,23 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
             ? net->totalLatency.value() /
                   (net->messagesSent.value() + net->selfMessages.value())
             : 0;
-    extra["sim.events"] = static_cast<double>(eq.executed());
+    extra["sim.events"] = static_cast<double>(
+        sharded ? sched->executed() : serial_eq->executed());
     // Low 52 bits only: the fingerprint must round-trip through the
-    // double-valued stats map without losing information.
+    // double-valued stats map without losing information. In sharded
+    // mode this is the combined per-shard fold — thread-count
+    // invariant, but a different (coarser-grained) quantity than the
+    // serial fingerprint.
+    constexpr std::uint64_t fp_mask = (std::uint64_t(1) << 52) - 1;
     extra["sim.fingerprint"] = static_cast<double>(
-        eq.fingerprint() & ((std::uint64_t(1) << 52) - 1));
+        (sharded ? sched->fingerprint() : serial_eq->fingerprint()) &
+        fp_mask);
+    if (sharded) {
+        extra["sim.shards"] = static_cast<double>(cfg.numGpns);
+        if (cfg.deterministicMerge)
+            extra["sim.mergedFingerprint"] = static_cast<double>(
+                sched->mergedFingerprint() & fp_mask);
+    }
 
     if (sim::profile::Registry::armed()) {
         const auto rows = sim::profile::Registry::instance().report(true);

@@ -80,35 +80,43 @@ class Network : public sim::SimObject
      * Try to inject a message. Fails (returns false) when the
      * destination is out of credits or the first hop is saturated; the
      * sender should register with waitForSpace().
+     *
+     * The endpoint contract (trySend / waitForSpace / popInbound /
+     * inboundEmpty / inboundSize / setInboundNotify /
+     * messagesInNetwork) is virtual so the sharded fabric of the
+     * parallel scheduler can keep the state per shard while MPU/MGU
+     * stay agnostic.
      */
-    bool trySend(const Message &msg);
+    virtual bool trySend(const Message &msg);
 
     /** One-shot retry callback for a sender blocked by trySend(). */
-    void waitForSpace(std::uint32_t src_pe, std::function<void()> retry);
+    virtual void waitForSpace(std::uint32_t src_pe,
+                              std::function<void()> retry);
 
     /** True when PE `pe` has no waiting inbound message. */
-    bool inboundEmpty(std::uint32_t pe) const
+    virtual bool inboundEmpty(std::uint32_t pe) const
     {
         return inbound[pe].empty();
     }
 
     /** Number of waiting inbound messages for PE `pe`. */
-    std::size_t inboundSize(std::uint32_t pe) const
+    virtual std::size_t inboundSize(std::uint32_t pe) const
     {
         return inbound[pe].size();
     }
 
     /** Pop the next inbound message for PE `pe`. @pre !inboundEmpty. */
-    Message popInbound(std::uint32_t pe);
+    virtual Message popInbound(std::uint32_t pe);
 
     /** Callback fired whenever a message lands in pe's empty queue. */
-    void setInboundNotify(std::uint32_t pe, std::function<void()> fn)
+    virtual void setInboundNotify(std::uint32_t pe,
+                                  std::function<void()> fn)
     {
         inboundNotify[pe] = std::move(fn);
     }
 
     /** Messages currently inside the network or in inbound queues. */
-    std::uint64_t messagesInNetwork() const { return inFlight; }
+    virtual std::uint64_t messagesInNetwork() const { return inFlight; }
 
     /** @{ @name Statistics */
     sim::stats::Scalar messagesSent;

@@ -137,6 +137,9 @@ EventQueue::runOneLegacy()
     curTick = item.when;
     recent[numExecuted % recentCapacity] =
         RecentEvent{item.when, item.priority, item.seq};
+    if (traceSink)
+        traceSink->push_back(
+            RecentEvent{item.when, item.priority, item.seq});
     ++numExecuted;
     constexpr std::uint64_t prime = 0x100000001b3ULL; // FNV-1a
     fp = (fp ^ item.when) * prime;
@@ -199,6 +202,8 @@ EventQueue::runOne()
     NOVA_ASSERT(when >= curTick, "event queue went backwards");
     curTick = when;
     recent[numExecuted % recentCapacity] = RecentEvent{when, priority, seq};
+    if (traceSink)
+        traceSink->push_back(RecentEvent{when, priority, seq});
     ++numExecuted;
     constexpr std::uint64_t prime = 0x100000001b3ULL; // FNV-1a
     fp = (fp ^ when) * prime;

@@ -225,6 +225,26 @@ class EventQueue
     /** @} */
 
     /**
+     * Tick of the next pending event, without mutating queue state.
+     * @return false when the queue is empty. Used by the parallel
+     * scheduler to compute the global safe-time horizon.
+     */
+    bool
+    peekNextTick(Tick &when) const
+    {
+        return peekKey(when);
+    }
+
+    /**
+     * Append every executed event's (when, priority, seq) to `sink`
+     * (in execution order) in addition to the fingerprint fold. Null
+     * (the default) disables tracing. The parallel scheduler's
+     * deterministic-merge mode uses this to build the canonical merged
+     * event order across shards.
+     */
+    void setTraceSink(std::vector<RecentEvent> *sink) { traceSink = sink; }
+
+    /**
      * The last executed events, oldest first (at most recentCapacity).
      * Recorded unconditionally; used by crash bundles and diagnoses.
      */
@@ -247,6 +267,21 @@ class EventQueue
                                 std::uint64_t executed_count,
                                 std::uint64_t fingerprint_value);
     /** @} */
+
+    /**
+     * Advance the clock of an empty queue without executing anything.
+     * The parallel scheduler resynchronizes shard clocks to the global
+     * maximum at quiescence so later cross-shard messages can never
+     * land in a shard's past. @pre empty() and when >= now().
+     */
+    void
+    fastForward(Tick when)
+    {
+        NOVA_ASSERT(empty(), "fast-forwarding a non-empty queue");
+        NOVA_ASSERT(when >= curTick, "fast-forwarding into the past");
+        curTick = when;
+        scanBucket = when >> bucketShift;
+    }
 
   private:
     /** @{ @name Calendar geometry (both powers of two). */
@@ -356,6 +391,7 @@ class EventQueue
     std::uint64_t checkEvery = 0;
     std::function<void()> checkFn;
     FaultInjector *injector = nullptr;
+    std::vector<RecentEvent> *traceSink = nullptr;
     std::array<RecentEvent, recentCapacity> recent{};
 };
 

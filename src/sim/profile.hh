@@ -131,12 +131,33 @@ class Registry
 
     /** @{ @name Arming
      * Disarmed scopes cost one branch; armed scopes read the host clock
-     * twice and update their site.
+     * twice and update their site. Threads running inside the parallel
+     * scheduler suppress profiling entirely (the registry's spine is
+     * single-threaded), so armed profiles only ever cover the serial
+     * scheduler path.
      */
-    static bool armed() { return armedFlag; }
+    static bool armed() { return armedFlag && !tlSuppress; }
     void arm() { armedFlag = true; }
     void disarm() { armedFlag = false; }
     /** @} */
+
+    /**
+     * RAII suppression of profiling on the current thread. The parallel
+     * scheduler brackets shard execution (on workers and on the caller's
+     * own lane alike, so results never depend on the thread count) with
+     * one of these.
+     */
+    class ThreadSuppressor
+    {
+      public:
+        ThreadSuppressor() : prev(tlSuppress) { tlSuppress = true; }
+        ~ThreadSuppressor() { tlSuppress = prev; }
+        ThreadSuppressor(const ThreadSuppressor &) = delete;
+        ThreadSuppressor &operator=(const ThreadSuppressor &) = delete;
+
+      private:
+        bool prev;
+    };
 
     /** Zero every site's accumulators (start of a measured run). */
     void reset();
@@ -160,6 +181,7 @@ class Registry
     friend class Scope;
 
     static inline bool armedFlag = false;
+    static inline thread_local bool tlSuppress = false;
     std::map<std::pair<std::string, std::string>, std::unique_ptr<Site>>
         sites;
     stats::Group group{"profile"};

@@ -195,7 +195,8 @@ class CorruptedProgram : public VertexProgram
  */
 std::unique_ptr<GraphEngine>
 makeEngine(EngineKind kind, std::uint64_t seed, std::uint64_t index,
-           const DiffOptions &opt, std::uint32_t &parts)
+           const DiffOptions &opt, std::uint32_t &parts,
+           std::uint32_t sched_threads)
 {
     switch (kind) {
       case EngineKind::Nova: {
@@ -210,6 +211,10 @@ makeEngine(EngineKind kind, std::uint64_t seed, std::uint64_t index,
         cfg.faultSchedule = opt.faultSchedule;
         cfg.faultSeed =
             seed ^ (index * 0x9e3779b97f4a7c15ULL) ^ 0xfa0175eedULL;
+        // Cross-sched sweep: the sharded parallel scheduler with the
+        // canonical merged event order folded into the fingerprint.
+        cfg.threads = sched_threads;
+        cfg.deterministicMerge = sched_threads > 0;
         parts = cfg.totalPes();
         return std::make_unique<core::NovaSystem>(cfg);
       }
@@ -309,7 +314,7 @@ struct SingleOutcome
 SingleOutcome
 runSingle(const FuzzedGraph &fuzzed, Algo algo, EngineKind kind,
           std::uint64_t seed, std::uint64_t index,
-          const DiffOptions &opt)
+          const DiffOptions &opt, std::uint32_t sched_threads = 0)
 {
     namespace ref = workloads::reference;
 
@@ -320,7 +325,8 @@ runSingle(const FuzzedGraph &fuzzed, Algo algo, EngineKind kind,
     const VertexId src = fuzzed.source;
 
     std::uint32_t parts = 1;
-    auto engine = makeEngine(kind, seed, index, opt, parts);
+    auto engine = makeEngine(kind, seed, index, opt, parts,
+                             sched_threads);
     const auto map = graph::randomMapping(g.numVertices(), parts,
                                           mappingSeed(seed, index));
 
@@ -342,6 +348,15 @@ runSingle(const FuzzedGraph &fuzzed, Algo algo, EngineKind kind,
         if (fp_it != r.extra.end())
             out.record.fingerprint ^=
                 static_cast<std::uint64_t>(fp_it->second);
+        // Sharded runs under deterministic merge also expose the
+        // canonical merged event order; fold it in (with a spread so
+        // the two hashes cannot cancel) to make the record sensitive
+        // to cross-shard interleaving, not just per-shard order.
+        const auto mfp_it = r.extra.find("sim.mergedFingerprint");
+        if (mfp_it != r.extra.end())
+            out.record.fingerprint ^=
+                static_cast<std::uint64_t>(mfp_it->second) *
+                0x9e3779b97f4a7c15ULL;
         const auto rec_it = r.extra.find("fault.recoveries");
         if (rec_it != r.extra.end())
             out.record.recoveries +=
@@ -434,6 +449,58 @@ runCase(std::uint64_t seed, std::uint64_t index, const DiffOptions &opt)
                         {seed, index, algo, kind, opt.fuzzer, opt.fault,
                          opt.faultSchedule});
                     out.divergences.push_back(std::move(d));
+                }
+            }
+
+            if (opt.crossCheckSchedThreads > 0 &&
+                kind == EngineKind::Nova && !opt.fault.enabled &&
+                opt.faultSchedule.empty()) {
+                // Sweep the sharded scheduler over both queue backends
+                // and both thread counts. All four records must agree
+                // bit for bit (the sharded model is deterministic in
+                // the thread count and queue backend) and every run
+                // must still match the reference.
+                bool have_first = false;
+                RunRecord first{};
+                for (const auto impl :
+                     {sim::EventQueue::Impl::LegacyHeap,
+                      sim::EventQueue::Impl::Calendar}) {
+                    for (const std::uint32_t threads :
+                         {std::uint32_t{1}, opt.crossCheckSchedThreads}) {
+                        ++out.runsExecuted;
+                        sim::EventQueue::ScopedDefaultImpl forced(impl);
+                        const SingleOutcome sharded = runSingle(
+                            fuzzed, algo, kind, seed, index, opt, threads);
+                        std::string detail;
+                        if (!sharded.detail.empty())
+                            detail = "sharded scheduler (" +
+                                     std::to_string(threads) +
+                                     " threads) diverged from the "
+                                     "reference: " +
+                                     sharded.detail;
+                        else if (!have_first) {
+                            have_first = true;
+                            first = sharded.record;
+                        } else if (sharded.record.fingerprint !=
+                                   first.fingerprint)
+                            detail =
+                                "sharded scheduler mismatch: fingerprint " +
+                                std::to_string(first.fingerprint) +
+                                " (first variant) vs " +
+                                std::to_string(sharded.record.fingerprint) +
+                                " (" + std::to_string(threads) +
+                                " threads)";
+                        if (detail.empty())
+                            continue;
+                        Divergence d;
+                        d.algo = algo;
+                        d.engine = kind;
+                        d.detail = std::move(detail);
+                        d.replayToken = encodeReplayToken(
+                            {seed, index, algo, kind, opt.fuzzer,
+                             opt.fault, opt.faultSchedule});
+                        out.divergences.push_back(std::move(d));
+                    }
                 }
             }
 

@@ -98,6 +98,17 @@ struct DiffOptions
      * whatever the fuzzer generates.
      */
     bool crossCheckQueueImpls = false;
+    /**
+     * When nonzero, additionally run every NOVA case on the sharded
+     * parallel scheduler (core::NovaConfig::threads) under
+     * deterministic merge, sweeping {legacy heap, calendar} x
+     * {1, crossCheckSchedThreads} host threads. All four run records
+     * must be bit-identical to each other and agree with the
+     * reference. Skipped when fault injection is active: corrupted
+     * reductions depend on global reduce-call order, which the sharded
+     * model does not reproduce.
+     */
+    std::uint32_t crossCheckSchedThreads = 0;
     /** PageRank comparison tolerance: |got - want| <= abs + rel*want. */
     double prAbsTol = 1e-9;
     double prRelTol = 1e-6;

@@ -55,20 +55,39 @@ struct PrRun
 };
 
 PrRun
+runPrCfg(const core::NovaConfig &cfg, const graph::Csr &g,
+         const core::CheckpointPolicy &policy)
+{
+    core::NovaSystem sys(cfg);
+    sys.setCheckpointPolicy(policy);
+    const auto map =
+        graph::randomMapping(g.numVertices(), cfg.totalPes(), 9);
+    workloads::PageRankProgram prog(0.85, 1e-11, 8);
+    PrRun r;
+    r.result = sys.run(prog, g, map);
+    r.rank = prog.rank();
+    return r;
+}
+
+PrRun
 runPr(const graph::Csr &g, const core::CheckpointPolicy &policy,
       const std::string &fault_schedule = "")
 {
     core::NovaConfig cfg = smallConfig();
     cfg.faultSchedule = fault_schedule;
     cfg.faultSeed = 3;
-    core::NovaSystem sys(cfg);
-    sys.setCheckpointPolicy(policy);
-    const auto map = graph::randomMapping(g.numVertices(), 4, 9);
-    workloads::PageRankProgram prog(0.85, 1e-11, 8);
-    PrRun r;
-    r.result = sys.run(prog, g, map);
-    r.rank = prog.rank();
-    return r;
+    return runPrCfg(cfg, g, policy);
+}
+
+/** Two-GPN sharded-scheduler configuration (threads > 0). */
+core::NovaConfig
+shardedConfig(std::uint32_t threads)
+{
+    core::NovaConfig cfg = smallConfig();
+    cfg.numGpns = 2;
+    cfg.threads = threads;
+    cfg.deterministicMerge = true;
+    return cfg;
 }
 
 /** Every field that must survive the round trip, compared exactly. */
@@ -215,6 +234,65 @@ TEST(Checkpoint, MissingFileRejected)
     core::CheckpointPolicy resume;
     resume.resumePath = "test_ckpt_does_not_exist.ckpt";
     EXPECT_THROW(runPr(g, resume), sim::FatalError);
+}
+
+TEST(Checkpoint, ParallelRoundTripThreadCountFree)
+{
+    // A checkpoint written by a 4-thread sharded run must resume
+    // bit-identically on 1 thread, and vice versa: the checkpoint
+    // records the shard decomposition, not the host thread count.
+    const graph::Csr g = testGraph();
+    ScopedFile ckpt("test_ckpt_parallel.ckpt");
+
+    const PrRun whole = runPrCfg(shardedConfig(4), g, {});
+    EXPECT_GT(whole.result.extra.at("sim.mergedFingerprint"), 0);
+
+    core::CheckpointPolicy stop;
+    stop.stopAfterIters = 3;
+    stop.path = ckpt.path;
+    const PrRun first = runPrCfg(shardedConfig(4), g, stop);
+    EXPECT_TRUE(first.result.stoppedAtCheckpoint);
+
+    core::CheckpointPolicy resume;
+    resume.resumePath = ckpt.path;
+    const PrRun narrow = runPrCfg(shardedConfig(1), g, resume);
+    expectIdenticalOutcome(whole, narrow);
+
+    // The other direction: stop on 1 thread, resume on 4.
+    ScopedFile ckpt2("test_ckpt_parallel_rev.ckpt");
+    stop.path = ckpt2.path;
+    const PrRun stopped = runPrCfg(shardedConfig(1), g, stop);
+    EXPECT_TRUE(stopped.result.stoppedAtCheckpoint);
+    resume.resumePath = ckpt2.path;
+    const PrRun wide = runPrCfg(shardedConfig(4), g, resume);
+    expectIdenticalOutcome(whole, wide);
+}
+
+TEST(Checkpoint, SerialAndShardedCheckpointsDoNotMix)
+{
+    // The scheduler mode (and shard count) is part of the checkpoint:
+    // a serial checkpoint cannot resume sharded and vice versa.
+    const graph::Csr g = testGraph();
+    ScopedFile serial_ckpt("test_ckpt_serial_mode.ckpt");
+    ScopedFile sharded_ckpt("test_ckpt_sharded_mode.ckpt");
+
+    core::CheckpointPolicy stop;
+    stop.stopAfterIters = 2;
+    stop.path = serial_ckpt.path;
+    runPr(g, stop);
+
+    core::CheckpointPolicy resume;
+    resume.resumePath = serial_ckpt.path;
+    core::NovaConfig sharded = smallConfig();
+    sharded.threads = 2;
+    EXPECT_THROW(runPrCfg(sharded, g, resume), sim::FatalError);
+
+    stop.path = sharded_ckpt.path;
+    runPrCfg(shardedConfig(2), g, stop);
+    resume.resumePath = sharded_ckpt.path;
+    core::NovaConfig serial = smallConfig();
+    serial.numGpns = 2;
+    EXPECT_THROW(runPrCfg(serial, g, resume), sim::FatalError);
 }
 
 TEST(Checkpoint, MismatchedGraphRejected)

@@ -27,6 +27,12 @@
  *                    and profile.* extras after the run
  *   --queue-impl=calendar|legacy  event-queue backend (overrides the
  *                    NOVA_EQ_IMPL environment variable)   [calendar]
+ *   --threads=<N>    shard the event queue per GPN and run the shards
+ *                    on N host threads (nova engine only; 0 = the
+ *                    serial single-queue scheduler)        [0]
+ *   --deterministic-merge  with --threads, additionally merge the
+ *                    per-shard event traces into one canonical order
+ *                    and print its fingerprint (docs/PARALLEL.md)
  *
  * Resilience (nova engine only; see docs/RESILIENCE.md):
  *   --faults=<schedule>   fault schedule (sim/fault.hh grammar)
@@ -63,6 +69,10 @@
  *   --replay=<tok>   re-run one recorded failing case
  *   --cross-queue    run every NOVA case on both event-queue backends
  *                    and require bit-identical fingerprints
+ *   --cross-sched[=N]  run every NOVA case on the sharded scheduler
+ *                    with {heap, calendar} x {1, N} host threads under
+ *                    --deterministic-merge and require all four run
+ *                    records bit-identical and reference-correct [N=4]
  *   --verbose        print every case as it runs
  */
 
@@ -117,6 +127,8 @@ struct CliOptions
     bool dumpStats = false;
     bool profile = false;
     std::string queueImpl;
+    std::uint32_t threads = 0;
+    bool deterministicMerge = false;
 
     // Resilience flags (nova engine only).
     std::string faultSchedule;
@@ -217,6 +229,11 @@ parseArgs(int argc, char **argv)
             o.profile = true;
         else if (takeValue(a, "--queue-impl=", o.queueImpl))
             continue;
+        else if (takeValue(a, "--threads=", v))
+            o.threads =
+                static_cast<std::uint32_t>(parseU64(v, "--threads"));
+        else if (std::strcmp(a, "--deterministic-merge") == 0)
+            o.deterministicMerge = true;
         else
             sim::fatal("unknown option '", a,
                        "' (see the header of tools/nova_cli.cc)");
@@ -294,6 +311,8 @@ makeEngine(const CliOptions &o)
         cfg.maxTicks = o.maxTicks;
         cfg.maxEvents = o.maxEvents;
         cfg.watchdogIntervalEvents = o.watchdogEvents;
+        cfg.threads = o.threads;
+        cfg.deterministicMerge = o.deterministicMerge;
         if (!o.faultSchedule.empty()) {
             const std::string err =
                 sim::FaultInjector::validateSchedule(o.faultSchedule);
@@ -312,6 +331,8 @@ makeEngine(const CliOptions &o)
     if (o.usesResilience())
         sim::fatal("--faults/--checkpoint-*/--resume/--stop-after/"
                    "--watchdog/--max-* need --engine=nova");
+    if (o.threads > 0 || o.deterministicMerge)
+        sim::fatal("--threads/--deterministic-merge need --engine=nova");
     if (o.engine == "polygraph")
         return std::make_unique<baselines::PolyGraphModel>(
             baselines::PolyGraphConfig{}.scaled(o.scale));
@@ -427,6 +448,14 @@ verifyMain(int argc, char **argv)
             replay_token = v;
         else if (std::strcmp(a, "--cross-queue") == 0)
             opt.crossCheckQueueImpls = true;
+        else if (std::strcmp(a, "--cross-sched") == 0)
+            opt.crossCheckSchedThreads = 4;
+        else if (takeValue(a, "--cross-sched=", v)) {
+            opt.crossCheckSchedThreads = static_cast<std::uint32_t>(
+                parseU64(v, "--cross-sched"));
+            if (opt.crossCheckSchedThreads == 0)
+                sim::fatal("--cross-sched needs a thread count >= 1");
+        }
         else if (std::strcmp(a, "--verbose") == 0)
             verbose = true;
         else
@@ -596,6 +625,12 @@ cliMain(int argc, char **argv)
         fp != r.extra.end())
         std::printf("fingerprint: 0x%llx\n",
                     static_cast<unsigned long long>(fp->second));
+    if (const auto mfp = r.extra.find("sim.mergedFingerprint");
+        mfp != r.extra.end())
+        std::printf("merged fingerprint: 0x%llx over %llu shards\n",
+                    static_cast<unsigned long long>(mfp->second),
+                    static_cast<unsigned long long>(
+                        r.extra.at("sim.shards")));
     if (const auto rec = r.extra.find("fault.recoveries");
         rec != r.extra.end())
         std::printf("faults: %llu injected, %llu recovered\n",
