@@ -44,13 +44,13 @@ BM_DramRandomAccess(benchmark::State &state)
         sim::Rng rng(7);
         std::uint64_t done = 0;
         std::uint64_t issued = 0;
-        std::function<void()> pump = [&] {
+        std::function<void()> pump = [&ch, &rng, &done, &issued, &pump] {
             while (issued < 4096 &&
                    ch.tryAccess(rng.next() % (1 << 26), false,
                                 [&done] { ++done; }))
                 ++issued;
             if (issued < 4096)
-                ch.waitForSpace([&] { pump(); });
+                ch.waitForSpace([&pump] { pump(); });
         };
         pump();
         eq.run();

@@ -17,7 +17,7 @@
 # an ordering proof.
 
 set -euo pipefail
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 OUT="${1:-BENCH_6.json}"
 BUILD="${BUILD_DIR:-build}"

@@ -14,9 +14,19 @@
 # Usage: scripts/check.sh [jobs]
 
 set -euo pipefail
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
+
+# 0. Shell hygiene: every script under scripts/ must pass shellcheck.
+#    Skipped (with a notice) where shellcheck is not installed; CI
+#    always installs it, so the gate cannot rot silently.
+if command -v shellcheck >/dev/null; then
+    echo "=== shellcheck scripts/*.sh ==="
+    shellcheck scripts/*.sh
+else
+    echo "check.sh: shellcheck not installed; skipping shell lint" >&2
+fi
 
 run_config() {
     local dir="$1"; shift

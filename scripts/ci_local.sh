@@ -15,7 +15,7 @@
 #                  (default: "build-test sanitize-lint bench-smoke")
 
 set -uo pipefail
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 QUICK=0
 [[ "${1:-}" == "--quick" ]] && QUICK=1
@@ -48,7 +48,7 @@ fi
 if [[ " ${JOBS} " == *" build-test "* ]]; then
     for compiler in gcc clang; do
         cc=${compiler}
-        cxx=$([[ ${compiler} == gcc ]] && echo g++ || echo clang++)
+        if [[ ${compiler} == gcc ]]; then cxx=g++; else cxx=clang++; fi
         if ! command -v "${cxx}" >/dev/null; then
             note "build-test/${compiler}: ${cxx} not installed -- SKIP"
             skip+=("build-test/${compiler}")
@@ -82,7 +82,7 @@ if [[ " ${JOBS} " == *" sanitize-lint "* ]]; then
     if bash scripts/check.sh; then
         note "sanitize-lint: novalint tree scan"
         if cmake --build build-rel --target novalint -j "$(nproc)" &&
-           ./build-rel/tools/novalint/novalint src tools; then
+           ./build-rel/tools/novalint/novalint src tools bench examples; then
             pass+=("sanitize-lint")
         else
             fail+=("sanitize-lint")

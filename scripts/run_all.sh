@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Full reproduction run: build, test, and regenerate every table/figure.
 set -u
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 cmake -B build -G Ninja > /tmp/cmake_final.log 2>&1
 cmake --build build > /tmp/build_final.log 2>&1 || { echo BUILD_FAILED; exit 1; }
 ctest --test-dir build 2>&1 | tee test_output.txt > /dev/null

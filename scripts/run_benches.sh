@@ -11,7 +11,7 @@
 #   BUILD_DIR  build tree to scan [build]
 
 set -euo pipefail
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 BUILD="${BUILD_DIR:-build}"
 OUT="bench_output.txt"
@@ -27,7 +27,10 @@ failed=0
 failed_names=()
 
 : > "${OUT}"
-for b in $(ls "${BUILD}"/bench/* 2>/dev/null | sort); do
+# Glob (not `ls`) so odd filenames cannot word-split; globs already
+# expand in sorted order.
+for b in "${BUILD}"/bench/*; do
+    [[ -e "$b" ]] || continue
     name="$(basename "$b")"
     case "${name}" in
         *.cmake | CMakeFiles | cmake_install.cmake | Makefile) continue ;;
@@ -38,12 +41,14 @@ for b in $(ls "${BUILD}"/bench/* 2>/dev/null | sort); do
         echo "run_benches.sh: skipping ${name} (not executable)" >&2
         continue
     fi
-    echo "##### ${name}" >> "${OUT}"
     # `|| status=$?` keeps set -e from aborting mid-suite: one broken
     # benchmark must not hide the results of the rest.
     status=0
-    "$b" >> "${OUT}" 2>&1 || status=$?
-    echo >> "${OUT}"
+    {
+        echo "##### ${name}"
+        "$b" 2>&1 || status=$?
+        echo
+    } >> "${OUT}"
     if [[ ${status} -ne 0 ]]; then
         failed=$((failed + 1))
         failed_names+=("${name} (exit ${status})")

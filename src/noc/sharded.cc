@@ -47,6 +47,10 @@ ShardedHierarchicalNetwork::ShardedHierarchicalNetwork(
         auto wake = [this, g] { wakeShardSenders(*shards[g]); };
         auto local_exit = [this, g](const Message &msg, Tick inject,
                                     Tick exit_tick) {
+            // Exit delivery runs on the destination GPN's own queue:
+            // stage g's pipeline is owned by shard g, so this never
+            // crosses a shard boundary.
+            // novalint: shard-local
             sched.shard(g).schedule(exit_tick, [this, g, msg, inject] {
                 deliverLocal(g, msg, inject);
             });
@@ -112,6 +116,8 @@ ShardedHierarchicalNetwork::trySend(const Message &msg)
         ++sh.inFlight;
         ++sh.d.selfMessages;
         Message copy = msg;
+        // Self-delivery on the sender's own shard queue (src == dst).
+        // novalint: shard-local
         q.scheduleIn(cfg.selfLatency, [this, src_gpn, copy, inject] {
             deliverLocal(src_gpn, copy, inject);
         });
@@ -262,6 +268,9 @@ ShardedHierarchicalNetwork::wakeShardSenders(Shard &sh)
 void
 ShardedHierarchicalNetwork::foldStats()
 {
+    // Runs on the coordinator after quiescence; shard index order is
+    // fixed, so this reduction's order is canonical by construction.
+    // novalint: canonical-order
     for (auto &shp : shards) {
         StatDeltas &d = shp->d;
         messagesSent += static_cast<double>(d.messagesSent);

@@ -363,6 +363,9 @@ class EventQueue
     bool runOneLegacy();
 
     const Impl impl_;
+    // Test hook: written once, single-threaded, before any queue or
+    // worker thread exists; read-only from then on.
+    // novalint:allow(shard-safety) set before threads start, then const
     static inline std::optional<Impl> forced;
 
     /** @{ @name Calendar backend state */

@@ -1,0 +1,21 @@
+// Fixture: every way an annotation can be wrong — unknown directive,
+// guarded-by naming a mutex that does not exist, guarded-by without an
+// argument, and an annotation attached to nothing.
+#include <cstdint>
+
+namespace nova
+{
+
+// novalint: shard-owned
+std::uint64_t counterA = 0;
+
+// novalint: guarded-by(missingMutex)
+std::uint64_t counterB = 0;
+
+// novalint: guarded-by
+std::uint64_t counterC = 0;
+
+// novalint: canonical-order
+std::uint64_t counterD = 0;
+
+} // namespace nova

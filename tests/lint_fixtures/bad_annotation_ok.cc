@@ -1,0 +1,28 @@
+// Fixture: every annotation kind, well formed and attached to a
+// recognized target -> clean.
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace nova
+{
+
+std::mutex tableMutex;
+
+// novalint: guarded-by(tableMutex)
+std::uint64_t tableSize = 0;
+
+// novalint: shard-local
+std::uint64_t shardHits = 0;
+
+double
+mergeAll(const std::vector<double> &perShard)
+{
+    double total = 0;
+    // novalint: canonical-order
+    for (double v : perShard)
+        total += v;
+    return total;
+}
+
+} // namespace nova

@@ -1,0 +1,20 @@
+// Fixture: iterating an unordered_map directly into a checkpoint
+// writer -> determinism-taint fires inside the loop (bucket order
+// would be serialized).
+#include "sim/checkpoint.hh"
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace nova
+{
+
+void
+savePending(sim::CheckpointWriter &w,
+            const std::unordered_map<std::uint32_t, std::uint64_t> &pending)
+{
+    for (const auto &kv : pending)
+        w.u64(kv.second);
+}
+
+} // namespace nova

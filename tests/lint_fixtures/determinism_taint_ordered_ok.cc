@@ -1,0 +1,20 @@
+// Fixture: same shape as determinism_taint_loop_bad.cc but over a
+// value-keyed std::map, whose iteration order is already canonical ->
+// clean.
+#include "sim/checkpoint.hh"
+
+#include <cstdint>
+#include <map>
+
+namespace nova
+{
+
+void
+savePending(sim::CheckpointWriter &w,
+            const std::map<std::uint32_t, std::uint64_t> &pending)
+{
+    for (const auto &kv : pending)
+        w.u64(kv.second);
+}
+
+} // namespace nova

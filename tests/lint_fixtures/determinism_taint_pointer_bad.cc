@@ -1,0 +1,22 @@
+// Fixture: a pointer-keyed ordered map iterates in host-address order;
+// a value accumulated from that loop reaches a stats sink later in the
+// same function -> determinism-taint fires at the sink.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace nova
+{
+
+struct Vertex;
+
+void
+foldRanks(const std::map<Vertex *, std::uint64_t> &ranks)
+{
+    std::vector<std::uint64_t> order;
+    for (const auto &kv : ranks)
+        order.push_back(kv.second);
+    saveGroupStats(order);
+}
+
+} // namespace nova

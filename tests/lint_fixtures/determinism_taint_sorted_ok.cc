@@ -1,0 +1,21 @@
+// Fixture: the values are collected from an unordered container but
+// std::sort establishes a canonical order before the sink -> clean.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace nova
+{
+
+void
+foldRanks(const std::unordered_map<std::uint32_t, std::uint64_t> &ranks)
+{
+    std::vector<std::uint64_t> order;
+    for (const auto &kv : ranks)
+        order.push_back(kv.second);
+    std::sort(order.begin(), order.end());
+    saveGroupStats(order);
+}
+
+} // namespace nova

@@ -1,0 +1,15 @@
+// Fixture: std::accumulate over doubles in a per-shard fold -> same
+// ordering hazard as an explicit += loop -> reduction-order fires.
+#include <numeric>
+#include <vector>
+
+namespace nova
+{
+
+double
+foldLatency(const std::vector<double> &perShard)
+{
+    return std::accumulate(perShard.begin(), perShard.end(), 0.0);
+}
+
+} // namespace nova

@@ -1,0 +1,24 @@
+// Fixture: the same merge loop as reduction_order_bad.cc, but the loop
+// is declared to run in a canonical order -> clean.
+#include <vector>
+
+namespace nova
+{
+
+struct ShardStats
+{
+    double energy = 0;
+};
+
+double
+mergeEnergy(const std::vector<ShardStats> &shards)
+{
+    double total = 0;
+    // Shard index order is fixed at construction time.
+    // novalint: canonical-order
+    for (const auto &sh : shards)
+        total += sh.energy;
+    return total;
+}
+
+} // namespace nova

@@ -1,0 +1,22 @@
+// Fixture: floating-point += in a loop of a merge-path function with
+// no canonical-order annotation -> reduction-order fires.
+#include <vector>
+
+namespace nova
+{
+
+struct ShardStats
+{
+    double energy = 0;
+};
+
+double
+mergeEnergy(const std::vector<ShardStats> &shards)
+{
+    double total = 0;
+    for (const auto &sh : shards)
+        total += sh.energy;
+    return total;
+}
+
+} // namespace nova

@@ -1,0 +1,18 @@
+// Fixture: integer accumulation is associative, so a merge loop over
+// integers needs no annotation -> clean.
+#include <cstdint>
+#include <vector>
+
+namespace nova
+{
+
+std::uint64_t
+mergeCounts(const std::vector<std::uint64_t> &perShard)
+{
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < perShard.size(); ++i)
+        total += perShard[i];
+    return total;
+}
+
+} // namespace nova

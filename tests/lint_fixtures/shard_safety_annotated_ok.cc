@@ -1,0 +1,23 @@
+// Fixture: the same shapes as shard_safety_*_bad.cc, but every site
+// carries a shard-local annotation -> clean.
+#include "sim/parallel.hh"
+
+#include <cstdint>
+
+namespace nova
+{
+
+// Only shard 0's event stream ever mutates this counter.
+// novalint: shard-local
+std::uint64_t shardLocalHits = 0;
+
+void
+bump(sim::ParallelScheduler &sched, sim::Tick when)
+{
+    ++shardLocalHits;
+    // Self-delivery on the caller's own shard.
+    // novalint: shard-local
+    sched.shard(0).schedule(when, [] {});
+}
+
+} // namespace nova

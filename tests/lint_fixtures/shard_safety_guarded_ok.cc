@@ -1,0 +1,24 @@
+// Fixture: mutable shared state with a guarded-by annotation naming a
+// mutex that is really declared in the TU -> clean.
+#include "sim/event_queue.hh"
+
+#include <cstdint>
+#include <mutex>
+
+namespace nova
+{
+
+std::mutex statsMutex;
+
+// novalint: guarded-by(statsMutex)
+std::uint64_t sharedDrops = 0;
+
+void
+noteDrop(sim::EventQueue &eq)
+{
+    std::lock_guard<std::mutex> hold(statsMutex);
+    ++sharedDrops;
+    eq.scheduleIn(1, [] {});
+}
+
+} // namespace nova

@@ -1,0 +1,15 @@
+// Fixture: scheduling directly on a ParallelScheduler shard queue
+// without a shard-local annotation -> shard-safety fires (cross-shard
+// work must go through postCross).
+#include "sim/parallel.hh"
+
+namespace nova
+{
+
+void
+kick(sim::ParallelScheduler &sched, sim::Tick when)
+{
+    sched.shard(1).schedule(when, [] {});
+}
+
+} // namespace nova

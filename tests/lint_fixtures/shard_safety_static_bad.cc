@@ -1,0 +1,20 @@
+// Fixture: mutable namespace-scope state touched from an event handler
+// in an event-scheduling file, with no shard-local/guarded-by
+// annotation -> shard-safety fires at the declaration.
+#include "sim/event_queue.hh"
+
+#include <cstdint>
+
+namespace nova
+{
+
+std::uint64_t deliveredCount = 0;
+
+void
+onDeliver(sim::EventQueue &eq)
+{
+    ++deliveredCount;
+    eq.scheduleIn(5, [] {});
+}
+
+} // namespace nova

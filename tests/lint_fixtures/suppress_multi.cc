@@ -1,0 +1,26 @@
+// Fixture: suppression-comment parsing tolerates whitespace and
+// comma-separated rule lists (regression for the exact-match-only
+// parser). Every line below would otherwise fire.
+struct Widget
+{
+    int x;
+};
+
+Widget *
+makeTrailingSpace()
+{
+    return new Widget; // novalint:allow(raw-new)  	
+}
+
+Widget *
+makeMultiRule()
+{
+    // novalint:allow(raw-new, wall-clock)
+    return new Widget;
+}
+
+Widget *
+makeSpacedList()
+{
+    return new Widget; // novalint: allow( raw-new , unordered-iteration )
+}

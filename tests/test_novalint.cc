@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "lint.hh"
+#include "sarif.hh"
 
 namespace
 {
@@ -234,9 +235,134 @@ TEST(NovaLint, SilentCatchCatchAllWithRethrowIsFine)
         ADD_FAILURE() << nova::lint::formatDiagnostic(d);
 }
 
+TEST(NovaLint, ShardSafetyStaticFires)
+{
+    expectSingle("shard_safety_static_bad.cc", "shard-safety",
+                 "std::uint64_t deliveredCount = 0;");
+}
+
+TEST(NovaLint, ShardSafetyScheduleFires)
+{
+    expectSingle("shard_safety_schedule_bad.cc", "shard-safety",
+                 "sched.shard(1).schedule(when");
+}
+
+TEST(NovaLint, ShardSafetyAnnotatedClean)
+{
+    expectClean({"shard_safety_annotated_ok.cc"});
+}
+
+TEST(NovaLint, ShardSafetyGuardedClean)
+{
+    expectClean({"shard_safety_guarded_ok.cc"});
+}
+
+TEST(NovaLint, DeterminismTaintLoopFires)
+{
+    expectSingle("determinism_taint_loop_bad.cc", "determinism-taint",
+                 "w.u64(kv.second);");
+}
+
+TEST(NovaLint, DeterminismTaintPropagationFires)
+{
+    expectSingle("determinism_taint_pointer_bad.cc", "determinism-taint",
+                 "saveGroupStats(order);");
+}
+
+TEST(NovaLint, DeterminismTaintSortedClean)
+{
+    expectClean({"determinism_taint_sorted_ok.cc"});
+}
+
+TEST(NovaLint, DeterminismTaintOrderedClean)
+{
+    expectClean({"determinism_taint_ordered_ok.cc"});
+}
+
+TEST(NovaLint, DeterminismTaintPointerHashFires)
+{
+    const SourceFile f{
+        "inline.cc",
+        "#include <functional>\n"
+        "struct V;\n"
+        "std::size_t h(V *v) {\n"
+        "    return std::hash<V *>{}(v);\n"
+        "}\n"};
+    const auto diags = lintFiles({f});
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "determinism-taint");
+    EXPECT_EQ(diags[0].line, 4);
+}
+
+TEST(NovaLint, DeterminismTaintPointerPrintFires)
+{
+    const SourceFile f{
+        "inline.cc",
+        "#include <cstdio>\n"
+        "struct V;\n"
+        "void dump(V *v) {\n"
+        "    std::printf(\"vertex at %p\\n\", (void *)v);\n"
+        "}\n"};
+    const auto diags = lintFiles({f});
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "determinism-taint");
+    EXPECT_EQ(diags[0].line, 4);
+}
+
+TEST(NovaLint, ReductionOrderFires)
+{
+    expectSingle("reduction_order_bad.cc", "reduction-order",
+                 "total += sh.energy;");
+}
+
+TEST(NovaLint, ReductionOrderAccumulateFires)
+{
+    expectSingle("reduction_order_accumulate_bad.cc", "reduction-order",
+                 "std::accumulate(perShard.begin()");
+}
+
+TEST(NovaLint, ReductionOrderAnnotatedClean)
+{
+    expectClean({"reduction_order_annotated_ok.cc"});
+}
+
+TEST(NovaLint, ReductionOrderIntegerClean)
+{
+    expectClean({"reduction_order_int_ok.cc"});
+}
+
+TEST(NovaLint, BadAnnotationFires)
+{
+    const std::string text = readFixture("bad_annotation_bad.cc");
+    const auto diags = lintFiles({{"bad_annotation_bad.cc", text}});
+    ASSERT_EQ(diags.size(), 4u);
+    for (const Diagnostic &d : diags)
+        EXPECT_EQ(d.rule, "bad-annotation");
+    EXPECT_EQ(diags[0].line, lineOf(text, "novalint: shard-owned"));
+    EXPECT_NE(diags[0].message.find("unknown"), std::string::npos);
+    EXPECT_EQ(diags[1].line,
+              lineOf(text, "novalint: guarded-by(missingMutex)"));
+    EXPECT_NE(diags[1].message.find("no mutex"), std::string::npos);
+    EXPECT_EQ(diags[2].line, 2 + lineOf(text, "std::uint64_t counterB"));
+    EXPECT_NE(diags[2].message.find("parenthesized"), std::string::npos);
+    EXPECT_EQ(diags[3].line,
+              lineOf(text, "novalint: canonical-order"));
+    EXPECT_NE(diags[3].message.find("attaches to no"), std::string::npos);
+}
+
+TEST(NovaLint, BadAnnotationClean)
+{
+    expectClean({"bad_annotation_ok.cc"});
+}
+
 TEST(NovaLint, SuppressionSameAndPreviousLine)
 {
     expectClean({"suppress.cc"});
+}
+
+TEST(NovaLint, SuppressionMultiRuleAndWhitespace)
+{
+    expectClean({"suppress_multi.cc"});
 }
 
 TEST(NovaLint, SuppressionWholeFile)
@@ -281,17 +407,54 @@ TEST(NovaLint, DiagnosticFormat)
 TEST(NovaLint, RuleCatalogComplete)
 {
     const auto &names = nova::lint::ruleNames();
-    EXPECT_GE(names.size(), 8u);
+    EXPECT_GE(names.size(), 15u);
     const std::vector<std::string> required = {
         "capture-default", "unordered-iteration", "wall-clock", "raw-new",
         "tick-arith",      "unregistered-stat",   "using-namespace-std",
         "virtual-dtor",    "assert-side-effect",  "include-guard",
-        "silent-catch"};
+        "silent-catch",    "shard-safety",        "determinism-taint",
+        "reduction-order", "bad-annotation"};
     for (const std::string &expected : required) {
         EXPECT_NE(std::find(names.begin(), names.end(), expected),
                   names.end())
             << "missing rule " << expected;
     }
+}
+
+TEST(NovaLint, RuleDescriptionsNonEmpty)
+{
+    for (const std::string &r : nova::lint::ruleNames())
+        EXPECT_FALSE(nova::lint::ruleDescription(r).empty()) << r;
+}
+
+TEST(NovaLint, SarifShape)
+{
+    const std::vector<Diagnostic> diags = {
+        {"src/a.cc", 12, "raw-new", "raw 'new' here"},
+        {"src/b.cc", 3, "shard-safety", "message with \"quotes\"\n"},
+    };
+    const std::string doc = nova::lint::renderSarif(diags);
+    EXPECT_NE(doc.find("\"$schema\""), std::string::npos);
+    EXPECT_NE(doc.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_NE(doc.find("\"name\": \"nova-lint\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ruleId\": \"raw-new\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ruleId\": \"shard-safety\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"startLine\": 12"), std::string::npos);
+    EXPECT_NE(doc.find("\"uri\": \"src/a.cc\""), std::string::npos);
+    // Quotes and newlines in messages must be JSON-escaped.
+    EXPECT_NE(doc.find("message with \\\"quotes\\\"\\n"),
+              std::string::npos);
+    // Rule metadata is listed once per referenced rule.
+    EXPECT_NE(doc.find("\"id\": \"raw-new\""), std::string::npos);
+    EXPECT_NE(doc.find("\"shortDescription\""), std::string::npos);
+}
+
+TEST(NovaLint, SarifEmptyRunIsValid)
+{
+    const std::string doc = nova::lint::renderSarif({});
+    EXPECT_NE(doc.find("\"results\": []"), std::string::npos);
+    EXPECT_NE(doc.find("\"rules\": []"), std::string::npos);
 }
 
 TEST(NovaLint, RuleFilterRestrictsChecks)

@@ -6,6 +6,8 @@
 #include <regex>
 #include <sstream>
 
+#include "model.hh"
+
 namespace nova::lint
 {
 
@@ -13,129 +15,15 @@ namespace
 {
 
 // ---------------------------------------------------------------------
-// File preparation: split into lines, strip comments/strings, collect
-// suppression directives, classify the file.
+// Analysis unit: the prepared text (pass 0) plus the symbol model
+// (pass 1). Rules are pass 2.
 // ---------------------------------------------------------------------
 
-struct Prepared
+struct Unit
 {
-    const SourceFile *src = nullptr;
-    std::vector<std::string> raw;  ///< Original lines.
-    std::vector<std::string> code; ///< Comment/string-stripped lines.
-    std::string codeText;          ///< code joined with '\n'.
-    std::vector<std::set<std::string>> allows; ///< Per-line allow(rule).
-    std::set<std::string> fileAllows;          ///< allow-file(rule).
-    bool header = false;
-    bool eventFile = false; ///< Interacts with the event machinery.
-    std::string stem;       ///< Path without extension (for pairing).
+    PreparedFile p;
+    FileModel m;
 };
-
-std::vector<std::string>
-splitLines(const std::string &text)
-{
-    std::vector<std::string> out;
-    std::string cur;
-    for (const char c : text) {
-        if (c == '\n') {
-            out.push_back(cur);
-            cur.clear();
-        } else {
-            cur += c;
-        }
-    }
-    if (!cur.empty())
-        out.push_back(cur);
-    return out;
-}
-
-/** Parse every `novalint:allow(...)`/`allow-file(...)` on a raw line. */
-void
-collectAllows(const std::string &line, std::set<std::string> &line_rules,
-              std::set<std::string> &file_rules)
-{
-    static const std::regex re(
-        R"(novalint:allow(-file)?\(([A-Za-z0-9_,\- ]+)\))");
-    auto begin = std::sregex_iterator(line.begin(), line.end(), re);
-    for (auto it = begin; it != std::sregex_iterator(); ++it) {
-        const bool whole_file = (*it)[1].matched;
-        std::stringstream names((*it)[2].str());
-        std::string name;
-        while (std::getline(names, name, ',')) {
-            name.erase(std::remove(name.begin(), name.end(), ' '),
-                       name.end());
-            if (name.empty())
-                continue;
-            (whole_file ? file_rules : line_rules).insert(name);
-        }
-    }
-}
-
-/**
- * Blank out comments and literal contents, preserving line structure and
- * the quote characters themselves (so `m["k"]` cannot look like a lambda
- * introducer). Handles line/block comments, string and char literals with
- * escapes, and digit separators (1'000).
- */
-std::vector<std::string>
-stripCode(const std::vector<std::string> &raw)
-{
-    std::vector<std::string> out;
-    bool in_block = false;
-    for (const std::string &line : raw) {
-        std::string s;
-        s.reserve(line.size());
-        char quote = 0; // active literal delimiter, or 0
-        char prev_code = 0;
-        for (std::size_t i = 0; i < line.size(); ++i) {
-            const char c = line[i];
-            const char n = i + 1 < line.size() ? line[i + 1] : 0;
-            if (in_block) {
-                if (c == '*' && n == '/') {
-                    in_block = false;
-                    s += "  ";
-                    ++i;
-                } else {
-                    s += ' ';
-                }
-                continue;
-            }
-            if (quote) {
-                if (c == '\\') {
-                    s += "  ";
-                    ++i;
-                } else if (c == quote) {
-                    quote = 0;
-                    s += c;
-                } else {
-                    s += ' ';
-                }
-                continue;
-            }
-            if (c == '/' && n == '/')
-                break; // rest of line is a comment
-            if (c == '/' && n == '*') {
-                in_block = true;
-                s += "  ";
-                ++i;
-                continue;
-            }
-            if (c == '"' ||
-                (c == '\'' &&
-                 !(std::isalnum(static_cast<unsigned char>(prev_code)) ||
-                   prev_code == '_'))) {
-                quote = c;
-                s += c;
-                prev_code = c;
-                continue;
-            }
-            s += c;
-            if (!std::isspace(static_cast<unsigned char>(c)))
-                prev_code = c;
-        }
-        out.push_back(s);
-    }
-    return out;
-}
 
 bool
 endsWith(const std::string &s, const std::string &suffix)
@@ -144,46 +32,9 @@ endsWith(const std::string &s, const std::string &suffix)
            s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-Prepared
-prepare(const SourceFile &src)
-{
-    Prepared p;
-    p.src = &src;
-    p.raw = splitLines(src.text);
-    p.code = stripCode(p.raw);
-    p.allows.resize(p.raw.size());
-    for (std::size_t i = 0; i < p.raw.size(); ++i)
-        collectAllows(p.raw[i], p.allows[i], p.fileAllows);
-    for (const std::string &line : p.code) {
-        p.codeText += line;
-        p.codeText += '\n';
-    }
-    p.header = endsWith(src.path, ".hh") || endsWith(src.path, ".hpp") ||
-               endsWith(src.path, ".h");
-    const std::size_t dot = src.path.rfind('.');
-    p.stem = dot == std::string::npos ? src.path : src.path.substr(0, dot);
-
-    // A file participates in event scheduling when it names the event
-    // machinery or includes the kernel headers; only such files can turn
-    // lexical nondeterminism into schedule nondeterminism.
-    static const std::regex ev(R"(\b(EventQueue|SelfEvent)\b)");
-    p.eventFile = std::regex_search(p.codeText, ev);
-    if (!p.eventFile) {
-        static const std::regex inc(
-            "#\\s*include\\s*\"sim/(event_queue|sim_object|simulator)"
-            "\\.hh\"");
-        for (const std::string &line : p.raw) {
-            if (std::regex_search(line, inc)) {
-                p.eventFile = true;
-                break;
-            }
-        }
-    }
-    return p;
-}
-
 bool
-suppressed(const Prepared &p, std::size_t line_idx, const std::string &rule)
+suppressed(const PreparedFile &p, std::size_t line_idx,
+           const std::string &rule)
 {
     if (p.fileAllows.count(rule))
         return true;
@@ -195,8 +46,9 @@ suppressed(const Prepared &p, std::size_t line_idx, const std::string &rule)
 }
 
 void
-emit(std::vector<Diagnostic> &out, const Prepared &p, std::size_t line_idx,
-     const std::string &rule, const std::string &message)
+emit(std::vector<Diagnostic> &out, const PreparedFile &p,
+     std::size_t line_idx, const std::string &rule,
+     const std::string &message)
 {
     if (suppressed(p, line_idx, rule))
         return;
@@ -206,7 +58,7 @@ emit(std::vector<Diagnostic> &out, const Prepared &p, std::size_t line_idx,
 
 /** Flag every line matching `re` with the same rule/message. */
 void
-flagLines(std::vector<Diagnostic> &out, const Prepared &p,
+flagLines(std::vector<Diagnostic> &out, const PreparedFile &p,
           const std::regex &re, const std::string &rule,
           const std::string &message)
 {
@@ -214,6 +66,15 @@ flagLines(std::vector<Diagnostic> &out, const Prepared &p,
         if (std::regex_search(p.code[i], re))
             emit(out, p, i, rule, message);
     }
+}
+
+/** 0-based line of codeText offset `at`. */
+std::size_t
+lineOfOffset(const std::string &text, std::size_t at)
+{
+    return static_cast<std::size_t>(
+        std::count(text.begin(),
+                   text.begin() + static_cast<std::ptrdiff_t>(at), '\n'));
 }
 
 // ---------------------------------------------------------------------
@@ -227,7 +88,7 @@ flagLines(std::vector<Diagnostic> &out, const Prepared &p,
  * explicit captures makes every captured lifetime reviewable.
  */
 void
-ruleCaptureDefault(std::vector<Diagnostic> &out, const Prepared &p)
+ruleCaptureDefault(std::vector<Diagnostic> &out, const PreparedFile &p)
 {
     if (!p.eventFile)
         return;
@@ -244,43 +105,20 @@ ruleCaptureDefault(std::vector<Diagnostic> &out, const Prepared &p)
  * in nondeterministic order across runs.
  */
 void
-collectUnorderedNames(const std::string &text, std::set<std::string> &names)
+ruleUnorderedIteration(std::vector<Diagnostic> &out, const Unit &u,
+                       const std::map<std::string, const Unit *> &by_path)
 {
-    static const std::regex decl(R"(\bunordered_(?:map|set)\s*<)");
-    for (auto it = std::sregex_iterator(text.begin(), text.end(), decl);
-         it != std::sregex_iterator(); ++it) {
-        std::size_t pos = static_cast<std::size_t>(it->position()) +
-                          it->length();
-        int depth = 1;
-        while (pos < text.size() && depth > 0) {
-            if (text[pos] == '<')
-                ++depth;
-            else if (text[pos] == '>')
-                --depth;
-            ++pos;
-        }
-        static const std::regex name_re(R"(^\s*&?\s*([A-Za-z_]\w*))");
-        std::smatch m;
-        const std::string rest = text.substr(pos, 128);
-        if (std::regex_search(rest, m, name_re))
-            names.insert(m[1].str());
-    }
-}
-
-void
-ruleUnorderedIteration(std::vector<Diagnostic> &out, const Prepared &p,
-                       const std::map<std::string, const Prepared *> &by_path)
-{
+    const PreparedFile &p = u.p;
     if (!p.eventFile)
         return;
     // Names declared in this file, plus — for a .cc — members declared
     // in its same-stem header (iteration usually lives in the .cc).
-    std::set<std::string> names;
-    collectUnorderedNames(p.codeText, names);
+    std::set<std::string> names = u.m.unorderedNames;
     if (!p.header) {
         auto it = by_path.find(p.stem + ".hh");
         if (it != by_path.end())
-            collectUnorderedNames(it->second->codeText, names);
+            names.insert(it->second->m.unorderedNames.begin(),
+                         it->second->m.unorderedNames.end());
     }
     if (names.empty())
         return;
@@ -305,7 +143,7 @@ ruleUnorderedIteration(std::vector<Diagnostic> &out, const Prepared &p,
  * on this).
  */
 void
-ruleWallClock(std::vector<Diagnostic> &out, const Prepared &p)
+ruleWallClock(std::vector<Diagnostic> &out, const PreparedFile &p)
 {
     if (endsWith(p.stem, "sim/random"))
         return;
@@ -325,7 +163,7 @@ ruleWallClock(std::vector<Diagnostic> &out, const Prepared &p)
  * order is deterministic and leaks are impossible by construction.
  */
 void
-ruleRawNew(std::vector<Diagnostic> &out, const Prepared &p)
+ruleRawNew(std::vector<Diagnostic> &out, const PreparedFile &p)
 {
     static const std::regex re(R"(\bnew\b\s*(?:\(|[A-Za-z_:<]))");
     flagLines(out, p, re, "raw-new",
@@ -340,7 +178,7 @@ ruleRawNew(std::vector<Diagnostic> &out, const Prepared &p)
  * helpers (sim::tickAdd/tickSub/tickMul) assert instead.
  */
 void
-ruleTickArith(std::vector<Diagnostic> &out, const Prepared &p)
+ruleTickArith(std::vector<Diagnostic> &out, const PreparedFile &p)
 {
     if (p.src->path.find("src/sim/") != std::string::npos)
         return;
@@ -358,17 +196,17 @@ ruleTickArith(std::vector<Diagnostic> &out, const Prepared &p)
  * vanish from dumps and from the differential-verify comparisons.
  */
 void
-ruleUnregisteredStat(std::vector<Diagnostic> &out, const Prepared &p,
-                     const std::map<std::string, const Prepared *> &by_stem)
+ruleUnregisteredStat(std::vector<Diagnostic> &out, const PreparedFile &p,
+                     const std::map<std::string, const Unit *> &by_path)
 {
     if (!p.header)
         return;
     static const std::regex decl(
         R"(\bstats::(?:Scalar|Histogram)\s+([A-Za-z_]\w*)\s*;)");
-    const Prepared *pair = nullptr;
-    auto it = by_stem.find(p.stem + ".cc");
-    if (it != by_stem.end())
-        pair = it->second;
+    const PreparedFile *pair = nullptr;
+    auto it = by_path.find(p.stem + ".cc");
+    if (it != by_path.end())
+        pair = &it->second->p;
     for (std::size_t i = 0; i < p.code.size(); ++i) {
         auto begin = std::sregex_iterator(p.code[i].begin(),
                                           p.code[i].end(), decl);
@@ -391,7 +229,7 @@ ruleUnregisteredStat(std::vector<Diagnostic> &out, const Prepared &p,
 
 /** using-namespace-std: `using namespace std` in a header. */
 void
-ruleUsingNamespaceStd(std::vector<Diagnostic> &out, const Prepared &p)
+ruleUsingNamespaceStd(std::vector<Diagnostic> &out, const PreparedFile &p)
 {
     if (!p.header)
         return;
@@ -407,7 +245,7 @@ ruleUsingNamespaceStd(std::vector<Diagnostic> &out, const Prepared &p)
  * the base pointer is undefined behaviour.
  */
 void
-ruleVirtualDtor(std::vector<Diagnostic> &out, const Prepared &p)
+ruleVirtualDtor(std::vector<Diagnostic> &out, const PreparedFile &p)
 {
     const std::string &text = p.codeText;
     static const std::regex cls(R"(\b(class|struct)\s+([A-Za-z_]\w*))");
@@ -479,9 +317,7 @@ ruleVirtualDtor(std::vector<Diagnostic> &out, const Prepared &p)
             ++i;
         }
         if (has_virtual && !has_virtual_dtor) {
-            const std::size_t line_idx = static_cast<std::size_t>(
-                std::count(text.begin(), text.begin() + at, '\n'));
-            emit(out, p, line_idx, "virtual-dtor",
+            emit(out, p, lineOfOffset(text, at), "virtual-dtor",
                  "polymorphic class '" + (*it)[2].str() +
                      "' has virtual functions but no virtual destructor");
         }
@@ -494,7 +330,7 @@ ruleVirtualDtor(std::vector<Diagnostic> &out, const Prepared &p)
  * inside it changes behaviour between build modes.
  */
 void
-ruleAssertSideEffect(std::vector<Diagnostic> &out, const Prepared &p)
+ruleAssertSideEffect(std::vector<Diagnostic> &out, const PreparedFile &p)
 {
     const std::string &text = p.codeText;
     const std::string needle = "NOVA_ASSERT";
@@ -535,9 +371,7 @@ ruleAssertSideEffect(std::vector<Diagnostic> &out, const Prepared &p)
             bad = true;
         }
         if (bad) {
-            const std::size_t line_idx = static_cast<std::size_t>(
-                std::count(text.begin(), text.begin() + at, '\n'));
-            emit(out, p, line_idx, "assert-side-effect",
+            emit(out, p, lineOfOffset(text, at), "assert-side-effect",
                  "NOVA_ASSERT condition has a side effect (++/--/"
                  "assignment); asserts must be removable without "
                  "changing behaviour");
@@ -555,7 +389,7 @@ ruleAssertSideEffect(std::vector<Diagnostic> &out, const Prepared &p)
  * contain a `throw`.
  */
 void
-ruleSilentCatch(std::vector<Diagnostic> &out, const Prepared &p)
+ruleSilentCatch(std::vector<Diagnostic> &out, const PreparedFile &p)
 {
     const std::string &text = p.codeText;
     static const std::regex kw(R"(\bcatch\s*\()");
@@ -601,8 +435,7 @@ ruleSilentCatch(std::vector<Diagnostic> &out, const Prepared &p)
             body.find_first_not_of(" \t\n\r") == std::string::npos;
         static const std::regex rethrow(R"(\bthrow\b)");
         const bool rethrows = std::regex_search(body, rethrow);
-        const std::size_t line_idx = static_cast<std::size_t>(
-            std::count(text.begin(), text.begin() + at, '\n'));
+        const std::size_t line_idx = lineOfOffset(text, at);
         if (empty_body) {
             emit(out, p, line_idx, "silent-catch",
                  "empty catch body discards the exception; handle it or "
@@ -621,7 +454,7 @@ ruleSilentCatch(std::vector<Diagnostic> &out, const Prepared &p)
  * inclusion is impossible and guard names stay greppable.
  */
 void
-ruleIncludeGuard(std::vector<Diagnostic> &out, const Prepared &p)
+ruleIncludeGuard(std::vector<Diagnostic> &out, const PreparedFile &p)
 {
     if (!p.header)
         return;
@@ -652,6 +485,633 @@ ruleIncludeGuard(std::vector<Diagnostic> &out, const Prepared &p)
          "header has no NOVA_*_HH include guard");
 }
 
+// ---------------------------------------------------------------------
+// Flow-aware rule families (pass 2 over the FileModel).
+// ---------------------------------------------------------------------
+
+/** The paired unit (same stem, other extension), or nullptr. */
+const Unit *
+pairedUnit(const PreparedFile &p,
+           const std::map<std::string, const Unit *> &by_path)
+{
+    for (const char *ext : {".hh", ".cc", ".hpp", ".cpp", ".h"}) {
+        if (endsWith(p.src->path, ext))
+            continue;
+        auto it = by_path.find(p.stem + ext);
+        if (it != by_path.end())
+            return it->second;
+    }
+    return nullptr;
+}
+
+/**
+ * First line (0-based) where `name` is used inside a function body of
+ * `u`, other than `skip_line`; -1 when unused. main() is excluded: the
+ * coordinator's startup path runs before any worker thread exists.
+ */
+int
+findUseInFunctions(const Unit &u, const std::string &name, int skip_line)
+{
+    const std::regex use("\\b" + name + "\\b");
+    for (const FunctionSpan &fn : u.m.functions) {
+        if (fn.name == "main")
+            continue;
+        const std::string body = u.p.codeText.substr(
+            fn.bodyBegin, fn.bodyEnd - fn.bodyBegin);
+        for (auto it = std::sregex_iterator(body.begin(), body.end(), use);
+             it != std::sregex_iterator(); ++it) {
+            const int line = static_cast<int>(
+                fn.bodyBeginLine +
+                static_cast<int>(std::count(
+                    body.begin(),
+                    body.begin() + it->position(), '\n')));
+            if (line != skip_line)
+                return line;
+        }
+    }
+    return -1;
+}
+
+/**
+ * shard-safety: state that can be touched concurrently from several
+ * shards' event streams.
+ *
+ * (a) A mutable namespace-scope/static variable declared in an
+ *     event-scheduling or shard-aware file and used inside a function
+ *     body is a cross-shard data race (and a determinism hazard even
+ *     under a lock, because acquisition order varies), unless its
+ *     declaration carries a shard-local or guarded-by(mutex)
+ *     annotation.
+ * (b) Scheduling directly on a queue obtained from
+ *     ParallelScheduler::shard(...) — either inline or through an
+ *     EventQueue& alias — bypasses the mailbox API; if the target is
+ *     another shard, the post races the owner. Cross-shard work must go
+ *     through postCross; genuinely same-shard scheduling is declared
+ *     with a shard-local annotation.
+ */
+void
+ruleShardSafety(std::vector<Diagnostic> &out, const Unit &u,
+                const std::map<std::string, const Unit *> &by_path)
+{
+    const PreparedFile &p = u.p;
+    const Unit *pair = pairedUnit(p, by_path);
+
+    // (a) Mutable static-storage state in shard-visible code.
+    if (p.eventFile || p.parallelFile) {
+        for (const VarDecl &v : u.m.mutableStatics) {
+            if (u.m.mutexes.count(v.name))
+                continue; // the lock itself is the synchronization
+            if (findAnnotation(u.m, v.line, Annotation::Kind::ShardLocal) ||
+                findAnnotation(u.m, v.line, Annotation::Kind::GuardedBy))
+                continue;
+            int used = findUseInFunctions(u, v.name, v.line);
+            if (used < 0 && pair)
+                used = findUseInFunctions(*pair, v.name, -1);
+            if (used < 0)
+                continue;
+            const char *what =
+                v.storage == VarDecl::Storage::NamespaceScope
+                    ? "namespace-scope variable"
+                    : (v.storage == VarDecl::Storage::StaticLocal
+                           ? "function-local static"
+                           : "static data member");
+            emit(out, p, v.line, "shard-safety",
+                 std::string("mutable ") + what + " '" + v.name +
+                     "' is touched from event-handler/worker code "
+                     "(first use near line " + std::to_string(used + 1) +
+                     "); confine it to one shard and annotate the "
+                     "declaration with novalint: shard-local, or guard "
+                     "it and annotate with novalint: guarded-by(<mutex>)");
+        }
+    }
+
+    // (b) Direct scheduling on a shard queue outside the scheduler's
+    //     own implementation.
+    if (!p.parallelFile ||
+        p.src->path.find("sim/parallel.") != std::string::npos)
+        return;
+
+    static const std::regex direct(
+        R"(\.\s*shard\s*\([^;{]*\)\s*\.\s*schedule(In)?\s*\()");
+    for (std::size_t i = 0; i < p.code.size(); ++i) {
+        if (!std::regex_search(p.code[i], direct))
+            continue;
+        if (findAnnotation(u.m, static_cast<int>(i),
+                           Annotation::Kind::ShardLocal))
+            continue;
+        emit(out, p, i, "shard-safety",
+             "direct EventQueue::schedule on a ParallelScheduler shard "
+             "queue bypasses the mailbox API; cross-shard work must use "
+             "postCross (same-shard scheduling is declared with a "
+             "novalint: shard-local annotation)");
+    }
+    for (const QueueAlias &alias : u.m.queueAliases) {
+        const std::regex call("\\b" + alias.name +
+                              "\\s*\\.\\s*schedule(In)?\\s*\\(");
+        const int lo = alias.functionIdx >= 0
+                           ? u.m.functions[alias.functionIdx].bodyBeginLine
+                           : 0;
+        const int hi = alias.functionIdx >= 0
+                           ? u.m.functions[alias.functionIdx].bodyEndLine
+                           : static_cast<int>(p.code.size()) - 1;
+        for (int i = lo; i <= hi &&
+                         i < static_cast<int>(p.code.size()); ++i) {
+            if (i == alias.line ||
+                !std::regex_search(p.code[static_cast<std::size_t>(i)],
+                                   call))
+                continue;
+            if (findAnnotation(u.m, i, Annotation::Kind::ShardLocal) ||
+                findAnnotation(u.m, alias.line,
+                               Annotation::Kind::ShardLocal))
+                continue;
+            emit(out, p, static_cast<std::size_t>(i), "shard-safety",
+                 "'" + alias.name +
+                     "' aliases a ParallelScheduler shard queue; "
+                     "scheduling on it bypasses the mailbox API — use "
+                     "postCross for cross-shard work, or declare the "
+                     "call site novalint: shard-local");
+        }
+    }
+}
+
+/** Determinism sinks: where an iteration-ordered value becomes output. */
+const std::regex &
+sinkRegex()
+{
+    static const std::regex re(
+        R"([Ff]ingerprint|\bstats::|\baddScalar\b|\baddHistogram\b|\bsaveGroupStats\b|CheckpointWriter|\.\s*(?:u64vec|f64vec|u64|f64|str|section)\s*\()");
+    return re;
+}
+
+/** Names assigned (=, +=, …) or grown (push_back/insert) in `text`. */
+void
+collectAssignedNames(const std::string &text, std::set<std::string> &names)
+{
+    static const std::regex asg(
+        R"(([A-Za-z_]\w*)(?:\s*\[[^\]]*\])?\s*([+\-*|^]?=))");
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), asg);
+         it != std::sregex_iterator(); ++it) {
+        const std::size_t after = static_cast<std::size_t>(
+            it->position() + it->length());
+        if (after < text.size() && text[after] == '=')
+            continue; // comparison (==, +==? never), not assignment
+        if ((*it)[2].str() == "=") {
+            // Reject `<=`, `>=`, `!=` — the char before the '=' sign.
+            const std::size_t eq = after - 1;
+            if (eq > 0 && (text[eq - 1] == '<' || text[eq - 1] == '>' ||
+                           text[eq - 1] == '!'))
+                continue;
+        }
+        names.insert((*it)[1].str());
+    }
+    static const std::regex grow(
+        R"(([A-Za-z_]\w*)\s*\.\s*(?:push_back|emplace_back|insert|emplace)\s*\()");
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), grow);
+         it != std::sregex_iterator(); ++it)
+        names.insert((*it)[1].str());
+}
+
+/**
+ * The span [start, end) of the statement or compound body following the
+ * loop head whose parenthesis opens at `paren` in `text`.
+ */
+void
+loopBodySpan(const std::string &text, std::size_t paren,
+             std::size_t *start, std::size_t *end)
+{
+    int depth = 0;
+    std::size_t i = paren;
+    for (; i < text.size(); ++i) {
+        if (text[i] == '(')
+            ++depth;
+        else if (text[i] == ')' && --depth == 0)
+            break;
+    }
+    ++i;
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i])))
+        ++i;
+    *start = i;
+    if (i < text.size() && text[i] == '{') {
+        int braces = 0;
+        for (; i < text.size(); ++i) {
+            if (text[i] == '{')
+                ++braces;
+            else if (text[i] == '}' && --braces == 0)
+                break;
+        }
+        *end = std::min(i + 1, text.size());
+    } else {
+        const std::size_t semi = text.find(';', i);
+        *end = semi == std::string::npos ? text.size() : semi + 1;
+    }
+}
+
+/**
+ * determinism-taint: iteration order of an unordered (hash-ordered) or
+ * pointer-keyed (address-ordered) container flowing into a fingerprint,
+ * statistics, or checkpoint writer within the same function — plus the
+ * degenerate cases of hashing or printing raw pointer values, which
+ * leak the allocator's address layout straight into output.
+ */
+void
+ruleDeterminismTaint(std::vector<Diagnostic> &out, const Unit &u,
+                     const std::map<std::string, const Unit *> &by_path)
+{
+    const PreparedFile &p = u.p;
+    const Unit *pair = pairedUnit(p, by_path);
+
+    std::set<std::string> unordered = u.m.unorderedNames;
+    std::set<std::string> ptrkeyed = u.m.pointerKeyedNames;
+    if (pair) {
+        unordered.insert(pair->m.unorderedNames.begin(),
+                         pair->m.unorderedNames.end());
+        ptrkeyed.insert(pair->m.pointerKeyedNames.begin(),
+                        pair->m.pointerKeyedNames.end());
+    }
+
+    const auto scanLoops = [&](const std::set<std::string> &names,
+                               const char *order_kind) {
+        for (const std::string &name : names) {
+            const std::regex head(
+                "(for\\s*(\\()[^;)]*:\\s*(?:\\*\\s*)?" + name +
+                "\\b)|(\\b" + name + "\\s*\\.\\s*c?r?begin\\s*\\()");
+            for (const FunctionSpan &fn : u.m.functions) {
+                const std::string body = p.codeText.substr(
+                    fn.bodyBegin, fn.bodyEnd - fn.bodyBegin);
+                for (auto it = std::sregex_iterator(body.begin(),
+                                                    body.end(), head);
+                     it != std::sregex_iterator(); ++it) {
+                    // Loop span: from the `for (` head when present,
+                    // else the enclosing statement of the begin() call.
+                    std::size_t start = 0;
+                    std::size_t end = 0;
+                    if ((*it)[2].matched) {
+                        loopBodySpan(body,
+                                     static_cast<std::size_t>(
+                                         it->position(2)),
+                                     &start, &end);
+                    } else {
+                        const std::size_t at = static_cast<std::size_t>(
+                            it->position());
+                        const std::size_t stmt_begin =
+                            body.rfind(';', at);
+                        start = stmt_begin == std::string::npos
+                                    ? 0
+                                    : stmt_begin + 1;
+                        const std::size_t semi = body.find(';', at);
+                        end = semi == std::string::npos ? body.size()
+                                                        : semi + 1;
+                    }
+                    const std::string span =
+                        body.substr(start, end - start);
+
+                    // Sinks inside the iteration itself.
+                    for (auto sit = std::sregex_iterator(
+                             span.begin(), span.end(), sinkRegex());
+                         sit != std::sregex_iterator(); ++sit) {
+                        const std::size_t line =
+                            fn.bodyBeginLine +
+                            lineOfOffset(body,
+                                         start + static_cast<std::size_t>(
+                                                     sit->position()));
+                        emit(out, p, line, "determinism-taint",
+                             std::string("value ordered by ") +
+                                 order_kind + " iteration of '" + name +
+                                 "' reaches a fingerprint/stats/"
+                                 "checkpoint sink; establish a canonical "
+                                 "order (sort, or an ordered container) "
+                                 "first");
+                    }
+
+                    // Values accumulated in the loop reaching a sink
+                    // later in the same function. Walking the remainder
+                    // line by line lets a std::sort() of the tainted
+                    // value launder it: sorting IS the canonical order.
+                    std::set<std::string> tainted;
+                    collectAssignedNames(span, tainted);
+                    tainted.erase(name);
+                    if (tainted.empty())
+                        continue;
+                    std::istringstream rest(body.substr(end));
+                    std::string rest_line;
+                    std::size_t off = end;
+                    while (std::getline(rest, rest_line)) {
+                        const std::size_t line_off = off;
+                        off += rest_line.size() + 1;
+                        static const std::regex launder(
+                            R"(\b(?:sort|stable_sort)\s*\()");
+                        if (std::regex_search(rest_line, launder)) {
+                            for (auto t = tainted.begin();
+                                 t != tainted.end();) {
+                                const std::regex tre("\\b" + *t +
+                                                     "\\b");
+                                if (std::regex_search(rest_line, tre))
+                                    t = tainted.erase(t);
+                                else
+                                    ++t;
+                            }
+                            continue;
+                        }
+                        if (!std::regex_search(rest_line, sinkRegex()))
+                            continue;
+                        bool hit = false;
+                        for (const std::string &t : tainted) {
+                            const std::regex tre("\\b" + t + "\\b");
+                            if (std::regex_search(rest_line, tre)) {
+                                hit = true;
+                                break;
+                            }
+                        }
+                        if (!hit)
+                            continue;
+                        const std::size_t line =
+                            fn.bodyBeginLine +
+                            lineOfOffset(body, line_off);
+                        emit(out, p, line, "determinism-taint",
+                             std::string("value accumulated while "
+                                         "iterating '") +
+                                 name + "' (" + order_kind +
+                                 " order) flows into a fingerprint/"
+                                 "stats/checkpoint sink; establish a "
+                                 "canonical order (e.g. std::sort) "
+                                 "before it is consumed");
+                    }
+                }
+            }
+        }
+    };
+    scanLoops(unordered, "hash-bucket");
+    scanLoops(ptrkeyed, "host-address");
+
+    // Raw pointer identity leaking into output.
+    static const std::regex hash_ptr(R"(std\s*::\s*hash\s*<[^>;]*\*)");
+    flagLines(out, p, hash_ptr, "determinism-taint",
+              "hashing a raw pointer value bakes the allocator's address "
+              "layout (ASLR) into the result; hash a stable id instead");
+    static const std::regex cast_ptr(
+        R"(reinterpret_cast\s*<\s*(?:std::)?u?intptr_t\s*>)");
+    flagLines(out, p, cast_ptr, "determinism-taint",
+              "converting a pointer to an integer exposes the host "
+              "address; derive ids from construction order instead");
+    static const std::regex print_fn(
+        R"(printf|sprintf|snprintf|format|log)");
+    for (std::size_t i = 0; i < p.raw.size(); ++i) {
+        if (p.raw[i].find("%p") != std::string::npos &&
+            std::regex_search(p.raw[i], print_fn)) {
+            emit(out, p, i, "determinism-taint",
+                 "printing a raw pointer (%p) leaks the host address "
+                 "layout into output; print a stable id instead");
+        }
+    }
+}
+
+/**
+ * reduction-order: floating-point accumulation inside loops of
+ * functions reachable from per-shard merge paths. FP addition is not
+ * associative; if the iteration order ever depends on thread count or
+ * container order, merged statistics differ bit-for-bit between runs.
+ * The accumulation must be declared to run in a canonical order via a
+ * novalint: canonical-order annotation on the loop or the accumulation.
+ */
+void
+ruleReductionOrder(std::vector<Diagnostic> &out, const Unit &u,
+                   const std::map<std::string, const Unit *> &by_path)
+{
+    const PreparedFile &p = u.p;
+    const Unit *pair = pairedUnit(p, by_path);
+    if (u.m.functions.empty())
+        return;
+
+    // Seed merge-path functions: fold/merge-ish names, or bodies that
+    // walk per-shard state.
+    static const std::regex seed_name(
+        R"(merge|fold|combine|reduc|aggregat|Merge|Fold|Combine|Reduc|Aggregat)");
+    static const std::regex seed_body(
+        R"(:\s*\w*[sS]hards?\b|[sS]hards?\s*\[|\bperShard\b)");
+    std::vector<bool> merge_path(u.m.functions.size(), false);
+    std::vector<std::string> bodies(u.m.functions.size());
+    for (std::size_t i = 0; i < u.m.functions.size(); ++i) {
+        const FunctionSpan &fn = u.m.functions[i];
+        bodies[i] = p.codeText.substr(fn.bodyBegin,
+                                      fn.bodyEnd - fn.bodyBegin);
+        merge_path[i] = std::regex_search(fn.name, seed_name) ||
+                        std::regex_search(bodies[i], seed_body);
+    }
+    // Propagate reachability one caller hop at a time: a function
+    // called from a merge path is itself a merge path.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t f = 0; f < u.m.functions.size(); ++f) {
+            if (!merge_path[f])
+                continue;
+            for (std::size_t g = 0; g < u.m.functions.size(); ++g) {
+                if (merge_path[g] || g == f)
+                    continue;
+                const std::string &callee = u.m.functions[g].name;
+                if (callee.size() < 4)
+                    continue; // too short to match reliably
+                const std::regex call("\\b" + callee + "\\s*\\(");
+                if (std::regex_search(bodies[f], call)) {
+                    merge_path[g] = true;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    std::set<std::string> floats = u.m.floatNames;
+    if (pair)
+        floats.insert(pair->m.floatNames.begin(),
+                      pair->m.floatNames.end());
+
+    static const std::regex loop_head(R"(\b(?:for|while)\s*(\())");
+    static const std::regex accum(
+        R"(([A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*|\[[^\]]*\])*)\s*[+\-]=)");
+    static const std::regex float_rhs(
+        R"(static_cast<\s*(?:double|float)\s*>|\d+\.\d|\d+\.[fF]?[;)\s])");
+    static const std::regex float_accumulate(
+        R"(\baccumulate\s*\([^;]*,\s*(?:0\.0|\d+\.\d*[fF]?)\s*[,)])");
+
+    for (std::size_t f = 0; f < u.m.functions.size(); ++f) {
+        if (!merge_path[f])
+            continue;
+        const FunctionSpan &fn = u.m.functions[f];
+        const std::string &body = bodies[f];
+
+        const auto annotated = [&](std::size_t body_off,
+                                   std::size_t loop_off) {
+            const int line = static_cast<int>(
+                fn.bodyBeginLine + lineOfOffset(body, body_off));
+            const int head = static_cast<int>(
+                fn.bodyBeginLine + lineOfOffset(body, loop_off));
+            return findAnnotation(u.m, line,
+                                  Annotation::Kind::CanonicalOrder) ||
+                   findAnnotation(u.m, head,
+                                  Annotation::Kind::CanonicalOrder);
+        };
+
+        for (auto it = std::sregex_iterator(body.begin(), body.end(),
+                                            loop_head);
+             it != std::sregex_iterator(); ++it) {
+            std::size_t start = 0;
+            std::size_t end = 0;
+            loopBodySpan(body,
+                         static_cast<std::size_t>(it->position(1)),
+                         &start, &end);
+            const std::string span = body.substr(start, end - start);
+            const std::size_t loop_off =
+                static_cast<std::size_t>(it->position());
+
+            for (auto ait = std::sregex_iterator(span.begin(),
+                                                 span.end(), accum);
+                 ait != std::sregex_iterator(); ++ait) {
+                const std::string lhs = (*ait)[1].str();
+                // Base identifier: the final member/array component.
+                std::string base = lhs;
+                const std::size_t dot = base.find_last_of(".>");
+                if (dot != std::string::npos)
+                    base = base.substr(dot + 1);
+                const std::size_t br = base.find('[');
+                if (br != std::string::npos)
+                    base = base.substr(0, br);
+                // RHS up to the end of the statement.
+                const std::size_t rhs_at = static_cast<std::size_t>(
+                    ait->position() + ait->length());
+                const std::size_t semi = span.find(';', rhs_at);
+                const std::string rhs = span.substr(
+                    rhs_at, (semi == std::string::npos ? span.size()
+                                                       : semi) -
+                                rhs_at);
+                const bool fp = floats.count(base) > 0 ||
+                                std::regex_search(rhs, float_rhs);
+                if (!fp)
+                    continue;
+                const std::size_t off =
+                    start + static_cast<std::size_t>(ait->position());
+                if (annotated(off, loop_off))
+                    continue;
+                emit(out, p,
+                     fn.bodyBeginLine + lineOfOffset(body, off),
+                     "reduction-order",
+                     "floating-point accumulation into '" + base +
+                         "' in a loop reachable from a per-shard merge "
+                         "path; FP addition is order-sensitive — "
+                         "establish a canonical order and annotate the "
+                         "loop with novalint: canonical-order");
+            }
+        }
+
+        for (auto it = std::sregex_iterator(body.begin(), body.end(),
+                                            float_accumulate);
+             it != std::sregex_iterator(); ++it) {
+            const std::size_t off =
+                static_cast<std::size_t>(it->position());
+            if (annotated(off, off))
+                continue;
+            emit(out, p, fn.bodyBeginLine + lineOfOffset(body, off),
+                 "reduction-order",
+                 "std::accumulate over floating-point values in a "
+                 "per-shard merge path; FP addition is order-sensitive "
+                 "— establish a canonical order and annotate with "
+                 "novalint: canonical-order");
+        }
+    }
+}
+
+/**
+ * bad-annotation: the annotation grammar is machine-checked. An
+ * annotation that names an unknown directive, a guarded-by whose mutex
+ * is not declared in the translation unit, or an annotation attached to
+ * nothing the analyzer recognizes is itself an error — a stale or
+ * misspelled annotation silently disables a real check.
+ */
+void
+ruleBadAnnotation(std::vector<Diagnostic> &out, const Unit &u,
+                  const std::map<std::string, const Unit *> &by_path)
+{
+    const PreparedFile &p = u.p;
+    const Unit *pair = pairedUnit(p, by_path);
+
+    const auto declAt = [&](int line) {
+        for (const VarDecl &v : u.m.mutableStatics)
+            if (v.line == line)
+                return true;
+        return false;
+    };
+    const auto aliasAt = [&](int line) {
+        for (const QueueAlias &a : u.m.queueAliases)
+            if (a.line == line)
+                return true;
+        return false;
+    };
+
+    static const std::regex sched(R"(\.\s*(schedule(In)?|shard)\s*\()");
+    static const std::regex reduction(
+        R"([+\-]=|\baccumulate\b|\b(for|while)\s*\()");
+
+    for (const Annotation &a : u.m.annotations) {
+        if (a.kind == Annotation::Kind::Unknown) {
+            emit(out, p, a.line, "bad-annotation",
+                 "unknown novalint annotation '" + a.name +
+                     "'; the grammar is shard-local, guarded-by(<mutex>)"
+                     ", canonical-order (docs/STATIC_ANALYSIS.md)");
+            continue;
+        }
+        if (a.kind == Annotation::Kind::GuardedBy) {
+            if (a.malformed) {
+                emit(out, p, a.line, "bad-annotation",
+                     "guarded-by needs a parenthesized mutex name: "
+                     "guarded-by(<mutex>)");
+                continue;
+            }
+            if (u.m.mutexes.count(a.arg) == 0 &&
+                (!pair || pair->m.mutexes.count(a.arg) == 0)) {
+                emit(out, p, a.line, "bad-annotation",
+                     "guarded-by(" + a.arg +
+                         ") names no mutex declared in this translation "
+                         "unit; the annotation guards nothing");
+                continue;
+            }
+        }
+
+        // Attachment: the annotation's line or the line below must hold
+        // something the annotation can apply to.
+        bool attached = false;
+        for (int line = a.line; line <= a.line + 1 &&
+                                line < static_cast<int>(p.code.size());
+             ++line) {
+            switch (a.kind) {
+            case Annotation::Kind::ShardLocal:
+                attached = declAt(line) || aliasAt(line) ||
+                           std::regex_search(
+                               p.code[static_cast<std::size_t>(line)],
+                               sched);
+                break;
+            case Annotation::Kind::GuardedBy:
+                attached = declAt(line);
+                break;
+            case Annotation::Kind::CanonicalOrder:
+                attached = std::regex_search(
+                    p.code[static_cast<std::size_t>(line)], reduction);
+                break;
+            case Annotation::Kind::Unknown:
+                break;
+            }
+            if (attached)
+                break;
+        }
+        if (!attached) {
+            emit(out, p, a.line, "bad-annotation",
+                 "annotation '" + a.name +
+                     "' attaches to no declaration, shard-queue "
+                     "schedule, or reduction the analyzer recognizes "
+                     "on this or the next line");
+        }
+    }
+}
+
 } // namespace
 
 const std::vector<std::string> &
@@ -661,34 +1121,80 @@ ruleNames()
         "capture-default",  "unordered-iteration", "wall-clock",
         "raw-new",          "tick-arith",          "unregistered-stat",
         "using-namespace-std", "virtual-dtor",     "assert-side-effect",
-        "include-guard",    "silent-catch",
+        "include-guard",    "silent-catch",        "shard-safety",
+        "determinism-taint", "reduction-order",    "bad-annotation",
     };
     return names;
+}
+
+std::string
+ruleDescription(const std::string &rule)
+{
+    static const std::map<std::string, std::string> descs = {
+        {"capture-default",
+         "Capture-default lambda in an event-scheduling file"},
+        {"unordered-iteration",
+         "Iteration over an unordered container in an event-scheduling "
+         "file"},
+        {"wall-clock",
+         "Nondeterministic entropy or wall-clock source outside "
+         "sim::Rng"},
+        {"raw-new", "Raw new expression instead of owned allocation"},
+        {"tick-arith",
+         "Unchecked arithmetic on a Tick-valued expression"},
+        {"unregistered-stat",
+         "Statistic declared but never registered with its group"},
+        {"using-namespace-std", "using namespace std in a header"},
+        {"virtual-dtor",
+         "Polymorphic class without a virtual destructor"},
+        {"assert-side-effect",
+         "NOVA_ASSERT condition with a side effect"},
+        {"include-guard", "Missing or misnamed NOVA_*_HH include guard"},
+        {"silent-catch", "Catch handler that swallows the exception"},
+        {"shard-safety",
+         "Mutable shared state or direct shard-queue scheduling in "
+         "cross-shard code"},
+        {"determinism-taint",
+         "Hash/address-ordered value flowing into a fingerprint, stats, "
+         "or checkpoint sink"},
+        {"reduction-order",
+         "Order-sensitive floating-point reduction in a per-shard merge "
+         "path"},
+        {"bad-annotation",
+         "Malformed, unknown, or unattached novalint annotation"},
+    };
+    auto it = descs.find(rule);
+    return it == descs.end() ? std::string("nova-lint rule") : it->second;
 }
 
 std::vector<Diagnostic>
 lintFiles(const std::vector<SourceFile> &files,
           const std::set<std::string> &enabled)
 {
-    std::vector<Prepared> prepared;
-    prepared.reserve(files.size());
-    for (const SourceFile &f : files)
-        prepared.push_back(prepare(f));
+    std::vector<Unit> units;
+    units.reserve(files.size());
+    for (const SourceFile &f : files) {
+        Unit u;
+        u.p = prepareFile(f);
+        u.m = buildModel(u.p);
+        units.push_back(std::move(u));
+    }
 
-    std::map<std::string, const Prepared *> by_path;
-    for (const Prepared &p : prepared)
-        by_path[p.src->path] = &p;
+    std::map<std::string, const Unit *> by_path;
+    for (const Unit &u : units)
+        by_path[u.p.src->path] = &u;
 
     const auto on = [&enabled](const char *rule) {
         return enabled.empty() || enabled.count(rule) > 0;
     };
 
     std::vector<Diagnostic> out;
-    for (const Prepared &p : prepared) {
+    for (const Unit &u : units) {
+        const PreparedFile &p = u.p;
         if (on("capture-default"))
             ruleCaptureDefault(out, p);
         if (on("unordered-iteration"))
-            ruleUnorderedIteration(out, p, by_path);
+            ruleUnorderedIteration(out, u, by_path);
         if (on("wall-clock"))
             ruleWallClock(out, p);
         if (on("raw-new"))
@@ -707,6 +1213,14 @@ lintFiles(const std::vector<SourceFile> &files,
             ruleIncludeGuard(out, p);
         if (on("silent-catch"))
             ruleSilentCatch(out, p);
+        if (on("shard-safety"))
+            ruleShardSafety(out, u, by_path);
+        if (on("determinism-taint"))
+            ruleDeterminismTaint(out, u, by_path);
+        if (on("reduction-order"))
+            ruleReductionOrder(out, u, by_path);
+        if (on("bad-annotation"))
+            ruleBadAnnotation(out, u, by_path);
     }
 
     std::sort(out.begin(), out.end(),
@@ -715,8 +1229,18 @@ lintFiles(const std::vector<SourceFile> &files,
                       return a.file < b.file;
                   if (a.line != b.line)
                       return a.line < b.line;
-                  return a.rule < b.rule;
+                  if (a.rule != b.rule)
+                      return a.rule < b.rule;
+                  return a.message < b.message;
               });
+    out.erase(std::unique(out.begin(), out.end(),
+                          [](const Diagnostic &a, const Diagnostic &b) {
+                              return a.file == b.file &&
+                                     a.line == b.line &&
+                                     a.rule == b.rule &&
+                                     a.message == b.message;
+                          }),
+              out.end());
     return out;
 }
 

@@ -43,6 +43,9 @@ struct SourceFile
 /** All rule identifiers, in reporting order. */
 const std::vector<std::string> &ruleNames();
 
+/** One-line description of a rule (SARIF rule metadata). */
+std::string ruleDescription(const std::string &rule);
+
 /**
  * Lint a set of files together.
  *

@@ -2,11 +2,14 @@
  * @file
  * nova-lint command-line driver.
  *
- * Usage: novalint [--rules=r1,r2] [--list-rules] <file-or-dir>...
+ * Usage: novalint [--rules=r1,r2] [--format=text|sarif]
+ *                 [--output=FILE] [--list-rules] <file-or-dir>...
  *
  * Directories are walked recursively for .hh/.cc sources (build trees
  * are skipped). Exits 1 when any diagnostic is emitted, so the ctest
- * `novalint` target gates the build on a clean tree.
+ * `novalint` target gates the build on a clean tree. `--format=sarif`
+ * writes a SARIF 2.1.0 document (for GitHub code scanning) instead of
+ * the gcc-style text lines; the exit-code contract is unchanged.
  */
 
 #include <algorithm>
@@ -19,6 +22,7 @@
 #include <vector>
 
 #include "lint.hh"
+#include "sarif.hh"
 
 namespace fs = std::filesystem;
 
@@ -68,6 +72,8 @@ main(int argc, char **argv)
 {
     std::set<std::string> enabled;
     std::vector<fs::path> roots;
+    std::string format = "text";
+    std::string output;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--list-rules") {
@@ -83,9 +89,25 @@ main(int argc, char **argv)
                     enabled.insert(name);
             continue;
         }
+        if (arg.rfind("--format=", 0) == 0) {
+            format = arg.substr(9);
+            if (format != "text" && format != "sarif") {
+                std::fprintf(stderr,
+                             "novalint: unknown format '%s' "
+                             "(text|sarif)\n",
+                             format.c_str());
+                return 2;
+            }
+            continue;
+        }
+        if (arg.rfind("--output=", 0) == 0) {
+            output = arg.substr(9);
+            continue;
+        }
         if (arg == "--help" || arg == "-h") {
-            std::printf("usage: novalint [--rules=r1,r2] [--list-rules] "
-                        "<file-or-dir>...\n");
+            std::printf("usage: novalint [--rules=r1,r2] "
+                        "[--format=text|sarif] [--output=FILE] "
+                        "[--list-rules] <file-or-dir>...\n");
             return 0;
         }
         roots.emplace_back(arg);
@@ -118,6 +140,26 @@ main(int argc, char **argv)
 
     const std::vector<nova::lint::Diagnostic> diags =
         nova::lint::lintFiles(files, enabled);
+
+    if (format == "sarif") {
+        const std::string doc = nova::lint::renderSarif(diags);
+        if (output.empty()) {
+            std::fputs(doc.c_str(), stdout);
+        } else {
+            std::ofstream out(output, std::ios::binary);
+            if (!out) {
+                std::fprintf(stderr, "novalint: cannot write %s\n",
+                             output.c_str());
+                return 2;
+            }
+            out << doc;
+        }
+        std::fprintf(stderr,
+                     "novalint: scanned %zu files, %zu issue(s)\n",
+                     files.size(), diags.size());
+        return diags.empty() ? 0 : 1;
+    }
+
     for (const nova::lint::Diagnostic &d : diags)
         std::fprintf(stderr, "%s\n",
                      nova::lint::formatDiagnostic(d).c_str());

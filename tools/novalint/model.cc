@@ -1,0 +1,738 @@
+#include "model.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+#include <sstream>
+
+namespace nova::lint
+{
+
+namespace
+{
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char c : text) {
+        if (c == '\n') {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+/**
+ * Parse every `novalint:allow(...)`/`allow-file(...)` on a raw line.
+ * Whitespace is tolerated everywhere a human would type it: after the
+ * colon, before the parenthesis, around each comma-separated rule name
+ * (tabs included), and trailing inside the list.
+ */
+void
+collectAllows(const std::string &line, std::set<std::string> &line_rules,
+              std::set<std::string> &file_rules)
+{
+    static const std::regex re(
+        R"(novalint:\s*allow(-file)?\s*\(([A-Za-z0-9_,\-\s]+?)\s*\))");
+    auto begin = std::sregex_iterator(line.begin(), line.end(), re);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        const bool whole_file = (*it)[1].matched;
+        std::stringstream names((*it)[2].str());
+        std::string name;
+        while (std::getline(names, name, ',')) {
+            name.erase(std::remove_if(name.begin(), name.end(),
+                                      [](unsigned char c) {
+                                          return std::isspace(c) != 0;
+                                      }),
+                       name.end());
+            if (name.empty())
+                continue;
+            (whole_file ? file_rules : line_rules).insert(name);
+        }
+    }
+}
+
+/**
+ * Blank out comments and literal contents, preserving line structure and
+ * the quote characters themselves (so `m["k"]` cannot look like a lambda
+ * introducer). Handles line/block comments, string and char literals with
+ * escapes, and digit separators (1'000).
+ */
+std::vector<std::string>
+stripCode(const std::vector<std::string> &raw)
+{
+    std::vector<std::string> out;
+    bool in_block = false;
+    for (const std::string &line : raw) {
+        std::string s;
+        s.reserve(line.size());
+        char quote = 0; // active literal delimiter, or 0
+        char prev_code = 0;
+        for (std::size_t i = 0; i < line.size(); ++i) {
+            const char c = line[i];
+            const char n = i + 1 < line.size() ? line[i + 1] : 0;
+            if (in_block) {
+                if (c == '*' && n == '/') {
+                    in_block = false;
+                    s += "  ";
+                    ++i;
+                } else {
+                    s += ' ';
+                }
+                continue;
+            }
+            if (quote) {
+                if (c == '\\') {
+                    s += "  ";
+                    ++i;
+                } else if (c == quote) {
+                    quote = 0;
+                    s += c;
+                } else {
+                    s += ' ';
+                }
+                continue;
+            }
+            if (c == '/' && n == '/')
+                break; // rest of line is a comment
+            if (c == '/' && n == '*') {
+                in_block = true;
+                s += "  ";
+                ++i;
+                continue;
+            }
+            if (c == '"' ||
+                (c == '\'' &&
+                 !(std::isalnum(static_cast<unsigned char>(prev_code)) ||
+                   prev_code == '_'))) {
+                quote = c;
+                s += c;
+                prev_code = c;
+                continue;
+            }
+            s += c;
+            if (!std::isspace(static_cast<unsigned char>(c)))
+                prev_code = c;
+        }
+        out.push_back(s);
+    }
+    return out;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// ---------------------------------------------------------------------
+// Scope scanner: classify every brace so lines know their scope and
+// function bodies get spans.
+// ---------------------------------------------------------------------
+
+enum class ScopeKind
+{
+    File,
+    Namespace,
+    Class,
+    Function,
+    Block,
+};
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Skip whitespace backwards; returns npos when text runs out. */
+std::size_t
+skipWsBack(const std::string &t, std::size_t i)
+{
+    while (i != std::string::npos &&
+           std::isspace(static_cast<unsigned char>(t[i]))) {
+        if (i == 0)
+            return std::string::npos;
+        --i;
+    }
+    return i;
+}
+
+/** Read the identifier (with :: and ~) ending at `i`; empty if none. */
+std::string
+identEndingAt(const std::string &t, std::size_t i, std::size_t *begin)
+{
+    std::size_t e = i;
+    while (i != std::string::npos && (isIdentChar(t[i]) || t[i] == '~')) {
+        if (i == 0) {
+            i = std::string::npos;
+            break;
+        }
+        --i;
+    }
+    // Consume `::` qualification chains so `noc::Network` reads whole.
+    while (i != std::string::npos && i >= 1 && t[i] == ':' &&
+           t[i - 1] == ':') {
+        i = i >= 2 ? i - 2 : std::string::npos;
+        while (i != std::string::npos && isIdentChar(t[i])) {
+            if (i == 0) {
+                i = std::string::npos;
+                break;
+            }
+            --i;
+        }
+    }
+    const std::size_t b = i == std::string::npos ? 0 : i + 1;
+    if (begin)
+        *begin = b;
+    if (b > e)
+        return "";
+    return t.substr(b, e - b + 1);
+}
+
+/** Matching '(' for the ')' at `i`, or npos. */
+std::size_t
+matchOpenParen(const std::string &t, std::size_t i)
+{
+    int depth = 0;
+    for (;; --i) {
+        if (t[i] == ')')
+            ++depth;
+        else if (t[i] == '(' && --depth == 0)
+            return i;
+        if (i == 0)
+            return std::string::npos;
+    }
+}
+
+bool
+isControlKeyword(const std::string &w)
+{
+    return w == "if" || w == "for" || w == "while" || w == "switch" ||
+           w == "catch" || w == "return" || w == "sizeof" ||
+           w == "alignof" || w == "decltype" || w == "do" || w == "else";
+}
+
+/**
+ * Classify the brace at `open`, given the innermost enclosing scope.
+ * `name` receives the function name for Function results.
+ */
+ScopeKind
+classifyBrace(const std::string &t, std::size_t open, ScopeKind enclosing,
+              std::string *name)
+{
+    if (open == 0)
+        return ScopeKind::Block;
+    std::size_t i = skipWsBack(t, open - 1);
+    if (i == std::string::npos)
+        return ScopeKind::Block;
+
+    // Strip trailing function qualifiers: `) const noexcept override {`.
+    for (;;) {
+        if (!isIdentChar(t[i]))
+            break;
+        std::size_t b = 0;
+        const std::string w = identEndingAt(t, i, &b);
+        if (w == "const" || w == "noexcept" || w == "override" ||
+            w == "final" || w == "mutable" || w == "try") {
+            if (b == 0)
+                return ScopeKind::Block;
+            i = skipWsBack(t, b - 1);
+            if (i == std::string::npos)
+                return ScopeKind::Block;
+            continue;
+        }
+        break;
+    }
+
+    // `namespace X {` / `namespace {` / `class Y : public Z {` heads:
+    // walk back to the statement boundary and regex the head.
+    if (isIdentChar(t[i]) || t[i] == ':' || t[i] == '>') {
+        std::size_t b = i;
+        int angle = 0;
+        int paren = 0;
+        while (b != std::string::npos) {
+            const char c = t[b];
+            if (c == '>')
+                ++angle;
+            else if (c == '<' && angle > 0)
+                --angle;
+            else if (c == ')')
+                ++paren;
+            else if (c == '(' && paren > 0)
+                --paren;
+            else if (paren == 0 && angle == 0 &&
+                     (c == ';' || c == '{' || c == '}'))
+                break;
+            if (b == 0) {
+                b = std::string::npos;
+                break;
+            }
+            --b;
+        }
+        const std::string head =
+            t.substr(b == std::string::npos ? 0 : b + 1,
+                     i - (b == std::string::npos ? 0 : b + 1) + 1);
+        static const std::regex ns(
+            R"(\bnamespace(\s+[A-Za-z_][\w:]*)?\s*$)");
+        if (std::regex_search(head, ns))
+            return ScopeKind::Namespace;
+        static const std::regex cls(R"(\b(class|struct|union|enum)\b)");
+        if (std::regex_search(head, cls) &&
+            head.find('(') == std::string::npos &&
+            head.find('=') == std::string::npos)
+            return ScopeKind::Class;
+        return ScopeKind::Block; // braced init, array init, ...
+    }
+
+    // `...) {`: a function definition, a control statement, a lambda,
+    // or a constructor init list. Walk `ident(...)` groups leftwards.
+    while (t[i] == ')') {
+        const std::size_t op = matchOpenParen(t, i);
+        if (op == std::string::npos || op == 0)
+            return ScopeKind::Block;
+        std::size_t j = skipWsBack(t, op - 1);
+        if (j == std::string::npos)
+            return ScopeKind::Block;
+        if (t[j] == ']')
+            return ScopeKind::Block; // lambda introducer
+        if (t[j] == '>') {
+            // Skip a template argument list: `run<T>(...)`.
+            int angle = 1;
+            while (j > 0 && angle > 0) {
+                --j;
+                if (t[j] == '>')
+                    ++angle;
+                else if (t[j] == '<')
+                    --angle;
+            }
+            if (j == 0)
+                return ScopeKind::Block;
+            j = skipWsBack(t, j - 1);
+            if (j == std::string::npos)
+                return ScopeKind::Block;
+        }
+        if (!isIdentChar(t[j]) && t[j] != '~')
+            return ScopeKind::Block;
+        std::size_t b = 0;
+        const std::string id = identEndingAt(t, j, &b);
+        if (id.empty())
+            return ScopeKind::Block;
+        if (isControlKeyword(id))
+            return ScopeKind::Block;
+        // Constructor init-list member: `: member(...)` or `, member(...)`
+        // — keep walking left to the parameter list.
+        std::size_t k =
+            b == 0 ? std::string::npos : skipWsBack(t, b - 1);
+        if (k != std::string::npos &&
+            (t[k] == ',' ||
+             (t[k] == ':' && (k == 0 || t[k - 1] != ':')))) {
+            if (k == 0)
+                return ScopeKind::Block;
+            i = skipWsBack(t, k - 1);
+            if (i == std::string::npos)
+                return ScopeKind::Block;
+            if (t[i] == '}' || t[i] == ']')
+                return ScopeKind::Block; // `Foo f{...}, g{...}` etc.
+            continue;
+        }
+        if (enclosing == ScopeKind::Function ||
+            enclosing == ScopeKind::Block)
+            return ScopeKind::Block; // local lambda/compound statement
+        // Unqualified final component for reporting.
+        const std::size_t sep = id.rfind("::");
+        if (name)
+            *name = sep == std::string::npos ? id : id.substr(sep + 2);
+        return ScopeKind::Function;
+    }
+
+    if (t[i] == '=' || t[i] == ',' || t[i] == '(' || t[i] == '{')
+        return ScopeKind::Block; // initializer lists
+    return ScopeKind::Block;
+}
+
+struct ScopeInfo
+{
+    std::vector<FunctionSpan> functions;
+    /** Innermost scope kind at the start of each line. */
+    std::vector<ScopeKind> lineScope;
+    /** Whether each line is inside some function body. */
+    std::vector<bool> lineInFunction;
+    /** Whether each line is inside a class body (outside functions). */
+    std::vector<bool> lineInClass;
+};
+
+ScopeInfo
+scanScopes(const PreparedFile &p)
+{
+    const std::string &t = p.codeText;
+    ScopeInfo info;
+    info.lineScope.assign(p.code.size(), ScopeKind::File);
+    info.lineInFunction.assign(p.code.size(), false);
+    info.lineInClass.assign(p.code.size(), false);
+
+    struct Open
+    {
+        ScopeKind kind;
+        int fnIdx = -1; ///< index into info.functions for Function
+    };
+    std::vector<Open> stack;
+    int line = 0;
+    int fnDepth = 0;
+    int classDepth = 0;
+
+    const auto innermost = [&stack]() {
+        return stack.empty() ? ScopeKind::File : stack.back().kind;
+    };
+
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const char c = t[i];
+        if (c == '\n') {
+            ++line;
+            if (static_cast<std::size_t>(line) < info.lineScope.size()) {
+                info.lineScope[line] = innermost();
+                info.lineInFunction[line] = fnDepth > 0;
+                info.lineInClass[line] = classDepth > 0 && fnDepth == 0;
+            }
+            continue;
+        }
+        if (c == '{') {
+            std::string name;
+            ScopeKind kind = classifyBrace(t, i, innermost(), &name);
+            if (fnDepth > 0 && kind == ScopeKind::Function)
+                kind = ScopeKind::Block; // defensive: no nested defs
+            Open o{kind, -1};
+            if (kind == ScopeKind::Function) {
+                FunctionSpan fn;
+                fn.name = name;
+                fn.headLine = line;
+                fn.bodyBegin = i + 1;
+                fn.bodyBeginLine = line;
+                o.fnIdx = static_cast<int>(info.functions.size());
+                info.functions.push_back(fn);
+                ++fnDepth;
+            } else if (kind == ScopeKind::Class) {
+                ++classDepth;
+            }
+            stack.push_back(o);
+        } else if (c == '}') {
+            if (!stack.empty()) {
+                const Open o = stack.back();
+                stack.pop_back();
+                if (o.kind == ScopeKind::Function) {
+                    --fnDepth;
+                    info.functions[o.fnIdx].bodyEnd = i;
+                    info.functions[o.fnIdx].bodyEndLine = line;
+                } else if (o.kind == ScopeKind::Class) {
+                    --classDepth;
+                }
+            }
+        }
+    }
+    // Unterminated spans (truncated file): close at EOF.
+    for (FunctionSpan &fn : info.functions) {
+        if (fn.bodyEnd == 0) {
+            fn.bodyEnd = t.size();
+            fn.bodyEndLine = line;
+        }
+    }
+    return info;
+}
+
+// ---------------------------------------------------------------------
+// Declaration harvesting.
+// ---------------------------------------------------------------------
+
+void
+collectUnorderedNames(const std::string &text, std::set<std::string> &names)
+{
+    static const std::regex decl(R"(\bunordered_(?:map|set)\s*<)");
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), decl);
+         it != std::sregex_iterator(); ++it) {
+        std::size_t pos = static_cast<std::size_t>(it->position()) +
+                          it->length();
+        int depth = 1;
+        while (pos < text.size() && depth > 0) {
+            if (text[pos] == '<')
+                ++depth;
+            else if (text[pos] == '>')
+                --depth;
+            ++pos;
+        }
+        static const std::regex name_re(R"(^\s*&?\s*([A-Za-z_]\w*))");
+        std::smatch m;
+        const std::string rest = text.substr(pos, 128);
+        if (std::regex_search(rest, m, name_re))
+            names.insert(m[1].str());
+    }
+}
+
+/** `std::map<T*, ...>` / `std::set<T*>`: ordered by host address. */
+void
+collectPointerKeyedNames(const std::string &text,
+                         std::set<std::string> &names)
+{
+    static const std::regex decl(
+        R"(\b(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?[A-Za-z_][\w:]*(?:\s*<[^<>]*>)?\s*\*)");
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), decl);
+         it != std::sregex_iterator(); ++it) {
+        const std::size_t at = static_cast<std::size_t>(it->position());
+        // Reject unordered_map/unordered_set: hashed, not address-ordered
+        // (the unordered rules own those).
+        if (at >= 10 && text.compare(at - 10, 10, "unordered_") == 0)
+            continue;
+        std::size_t pos = text.find('<', at);
+        int depth = 1;
+        ++pos;
+        while (pos < text.size() && depth > 0) {
+            if (text[pos] == '<')
+                ++depth;
+            else if (text[pos] == '>')
+                --depth;
+            ++pos;
+        }
+        static const std::regex name_re(R"(^\s*&?\s*([A-Za-z_]\w*))");
+        std::smatch m;
+        const std::string rest = text.substr(pos, 128);
+        if (std::regex_search(rest, m, name_re))
+            names.insert(m[1].str());
+    }
+}
+
+void
+collectMutexes(const std::string &text, std::set<std::string> &names)
+{
+    static const std::regex decl(
+        R"(\b(?:std\s*::\s*)?(?:recursive_|shared_|timed_|recursive_timed_)?mutex\s+([A-Za-z_]\w*)\s*;)");
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), decl);
+         it != std::sregex_iterator(); ++it)
+        names.insert((*it)[1].str());
+}
+
+void
+collectFloatNames(const std::string &text, std::set<std::string> &names)
+{
+    static const std::regex decl(
+        R"(\b(?:double|float|stats::Scalar)\s+([A-Za-z_]\w*)\s*[;={,)\[])");
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), decl);
+         it != std::sregex_iterator(); ++it)
+        names.insert((*it)[1].str());
+}
+
+/** Keywords that rule a line out as a mutable-variable declaration. */
+bool
+hasDisqualifier(const std::string &line)
+{
+    static const std::regex dq(
+        R"(\b(const|constexpr|constinit|using|typedef|extern|friend|template|return|class|struct|enum|union|namespace|static_assert|operator|public|private|protected|if|for|while|switch|case|goto|sizeof|new|delete|throw)\b)");
+    return std::regex_search(line, dq);
+}
+
+void
+collectMutableStatics(const PreparedFile &p, const ScopeInfo &scopes,
+                      std::vector<VarDecl> &out)
+{
+    // Namespace-scope: `Type name;` / `Type name = ...;` with optional
+    // static/inline/thread_local, no const and no parameter list.
+    static const std::regex nsDecl(
+        R"(^\s*(?:(?:static|inline|thread_local)\s+)*[A-Za-z_][\w:]*(?:\s*<[^;{}]*>)?(?:\s*::\s*[A-Za-z_]\w*)*(?:\s*[&*])*\s+([A-Za-z_]\w*)\s*(?:=[^;]*|\{[^;]*\})?;)");
+    // `static Type name ...;` locals and class members (inline/
+    // thread_local in any order after static).
+    static const std::regex staticDecl(
+        R"(^\s*static\s+(?:(?:inline|thread_local)\s+)*[A-Za-z_][\w:]*(?:\s*<[^;{}]*>)?(?:\s*::\s*[A-Za-z_]\w*)*(?:\s*[&*])*\s+([A-Za-z_]\w*)\s*(?:=[^;]*|\{[^;]*\})?;)");
+
+    for (std::size_t i = 0; i < p.code.size(); ++i) {
+        const std::string &line = p.code[i];
+        if (line.find(';') == std::string::npos)
+            continue;
+        std::smatch m;
+        if (scopes.lineInFunction[i]) {
+            if (!hasDisqualifier(line) &&
+                std::regex_search(line, m, staticDecl)) {
+                out.push_back(VarDecl{m[1].str(),
+                                      VarDecl::Storage::StaticLocal,
+                                      static_cast<int>(i)});
+            }
+        } else if (scopes.lineInClass[i]) {
+            if (!hasDisqualifier(line) &&
+                std::regex_search(line, m, staticDecl)) {
+                out.push_back(VarDecl{m[1].str(),
+                                      VarDecl::Storage::StaticMember,
+                                      static_cast<int>(i)});
+            }
+        } else if (scopes.lineScope[i] == ScopeKind::File ||
+                   scopes.lineScope[i] == ScopeKind::Namespace) {
+            if (!hasDisqualifier(line) &&
+                std::regex_search(line, m, nsDecl)) {
+                out.push_back(VarDecl{m[1].str(),
+                                      VarDecl::Storage::NamespaceScope,
+                                      static_cast<int>(i)});
+            }
+        }
+    }
+}
+
+void
+collectQueueAliases(const PreparedFile &p, const FileModel &m,
+                    std::vector<QueueAlias> &out)
+{
+    static const std::regex alias(
+        R"(\bEventQueue\s*&\s*([A-Za-z_]\w*)\s*=\s*[^;]*\.\s*shard\s*\()");
+    for (std::size_t i = 0; i < p.code.size(); ++i) {
+        std::smatch match;
+        if (std::regex_search(p.code[i], match, alias)) {
+            QueueAlias a;
+            a.name = match[1].str();
+            a.line = static_cast<int>(i);
+            a.functionIdx = enclosingFunction(m, a.line);
+            out.push_back(a);
+        }
+    }
+}
+
+void
+collectAnnotations(const PreparedFile &p, std::vector<Annotation> &out)
+{
+    // Only comment-context annotations count: `// novalint: <word>`.
+    // (String literals mentioning the grammar — e.g. in this very file's
+    // regexes — must not register.)
+    static const std::regex ann(
+        R"re(//\s*novalint:\s*([A-Za-z][A-Za-z-]*)(\s*\(\s*([A-Za-z_][\w.:]*)\s*\))?)re");
+    for (std::size_t i = 0; i < p.raw.size(); ++i) {
+        auto begin = std::sregex_iterator(p.raw[i].begin(),
+                                          p.raw[i].end(), ann);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+            const std::string word = (*it)[1].str();
+            if (word == "allow" || word == "allow-file")
+                continue; // suppressions, handled separately
+            Annotation a;
+            a.name = word;
+            a.line = static_cast<int>(i);
+            if (word == "shard-local") {
+                a.kind = Annotation::Kind::ShardLocal;
+            } else if (word == "guarded-by") {
+                a.kind = Annotation::Kind::GuardedBy;
+                if ((*it)[3].matched)
+                    a.arg = (*it)[3].str();
+                else
+                    a.malformed = true;
+            } else if (word == "canonical-order") {
+                a.kind = Annotation::Kind::CanonicalOrder;
+            } else {
+                a.kind = Annotation::Kind::Unknown;
+            }
+            out.push_back(a);
+        }
+    }
+}
+
+} // namespace
+
+PreparedFile
+prepareFile(const SourceFile &src)
+{
+    PreparedFile p;
+    p.src = &src;
+    p.raw = splitLines(src.text);
+    p.code = stripCode(p.raw);
+    p.allows.resize(p.raw.size());
+    for (std::size_t i = 0; i < p.raw.size(); ++i)
+        collectAllows(p.raw[i], p.allows[i], p.fileAllows);
+    for (const std::string &line : p.code) {
+        p.codeText += line;
+        p.codeText += '\n';
+    }
+    p.header = endsWith(src.path, ".hh") || endsWith(src.path, ".hpp") ||
+               endsWith(src.path, ".h");
+    const std::size_t dot = src.path.rfind('.');
+    p.stem = dot == std::string::npos ? src.path : src.path.substr(0, dot);
+
+    // A file participates in event scheduling when it names the event
+    // machinery or includes the kernel headers; only such files can turn
+    // lexical nondeterminism into schedule nondeterminism.
+    static const std::regex ev(R"(\b(EventQueue|SelfEvent)\b)");
+    p.eventFile = std::regex_search(p.codeText, ev);
+    if (!p.eventFile) {
+        static const std::regex inc(
+            "#\\s*include\\s*\"sim/(event_queue|sim_object|simulator)"
+            "\\.hh\"");
+        for (const std::string &line : p.raw) {
+            if (std::regex_search(line, inc)) {
+                p.eventFile = true;
+                break;
+            }
+        }
+    }
+
+    // A file is shard-aware when it names the parallel scheduler or its
+    // mailbox API, or includes the sharded headers: its code can run on
+    // worker threads and can address other shards' queues.
+    static const std::regex par(
+        R"(\b(ParallelScheduler|postCross)\b)");
+    p.parallelFile = std::regex_search(p.codeText, par);
+    if (!p.parallelFile) {
+        static const std::regex pinc(
+            "#\\s*include\\s*\"(sim/parallel|noc/sharded)\\.hh\"");
+        for (const std::string &line : p.raw) {
+            if (std::regex_search(line, pinc)) {
+                p.parallelFile = true;
+                break;
+            }
+        }
+    }
+    return p;
+}
+
+FileModel
+buildModel(const PreparedFile &p)
+{
+    FileModel m;
+    const ScopeInfo scopes = scanScopes(p);
+    m.functions = scopes.functions;
+    collectUnorderedNames(p.codeText, m.unorderedNames);
+    collectPointerKeyedNames(p.codeText, m.pointerKeyedNames);
+    collectMutexes(p.codeText, m.mutexes);
+    collectFloatNames(p.codeText, m.floatNames);
+    collectMutableStatics(p, scopes, m.mutableStatics);
+    collectAnnotations(p, m.annotations);
+    collectQueueAliases(p, m, m.queueAliases);
+    return m;
+}
+
+const Annotation *
+findAnnotation(const FileModel &m, int line, Annotation::Kind kind)
+{
+    for (const Annotation &a : m.annotations) {
+        if (a.kind != kind)
+            continue;
+        if (a.line == line || a.line == line - 1)
+            return &a;
+    }
+    return nullptr;
+}
+
+int
+enclosingFunction(const FileModel &m, int line)
+{
+    int best = -1;
+    for (std::size_t i = 0; i < m.functions.size(); ++i) {
+        const FunctionSpan &fn = m.functions[i];
+        if (fn.bodyBeginLine <= line && line <= fn.bodyEndLine) {
+            // Innermost wins (spans cannot partially overlap).
+            if (best < 0 ||
+                fn.bodyBeginLine >= m.functions[best].bodyBeginLine)
+                best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+} // namespace nova::lint

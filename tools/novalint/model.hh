@@ -1,0 +1,134 @@
+/**
+ * @file
+ * nova-lint pass 1: the per-translation-unit symbol model.
+ *
+ * The flow-aware rule families (shard-safety, determinism-taint,
+ * reduction-order; see docs/STATIC_ANALYSIS.md) need more than a line
+ * regex: they reason about *where* a name was declared and *where* it
+ * is used. This header defines that model and the single function that
+ * builds it from a prepared source file:
+ *
+ *  - scope tracking: every brace is classified (namespace, class,
+ *    function, plain block) so each line knows its innermost scope;
+ *  - function spans: name + body extent of every function definition,
+ *    including class members and constructors with init lists;
+ *  - declarations: mutable namespace-scope/static variables, unordered
+ *    containers, pointer-keyed ordered containers, float-typed names,
+ *    declared mutexes, and EventQueue references aliased from
+ *    ParallelScheduler::shard();
+ *  - annotations: the machine-checked `novalint:` annotation grammar
+ *    (`shard-local`, `guarded-by(<mutex>)`, `canonical-order`).
+ *
+ * Everything here is lexical — comment/string stripped, brace matched,
+ * no real parse — which is exactly enough for the rule families and
+ * keeps the checker dependency-free and fast.
+ */
+
+#ifndef NOVA_NOVALINT_MODEL_HH
+#define NOVA_NOVALINT_MODEL_HH
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace nova::lint
+{
+
+/** A source file after comment/string stripping and directive capture. */
+struct PreparedFile
+{
+    const SourceFile *src = nullptr;
+    std::vector<std::string> raw;  ///< Original lines.
+    std::vector<std::string> code; ///< Comment/string-stripped lines.
+    std::string codeText;          ///< code joined with '\n'.
+    std::vector<std::set<std::string>> allows; ///< Per-line allow(rule).
+    std::set<std::string> fileAllows;          ///< allow-file(rule).
+    bool header = false;
+    bool eventFile = false;    ///< Interacts with the event machinery.
+    bool parallelFile = false; ///< Touches the sharded scheduler/fabric.
+    std::string stem;          ///< Path without extension (for pairing).
+};
+
+PreparedFile prepareFile(const SourceFile &src);
+
+/** One `novalint:` annotation (not an allow — those live on allows). */
+struct Annotation
+{
+    enum class Kind
+    {
+        ShardLocal,     ///< state confined to one shard's event stream
+        GuardedBy,      ///< state protected by a named mutex
+        CanonicalOrder, ///< reduction runs in a canonical order
+        Unknown,        ///< unrecognized annotation name
+    };
+    Kind kind = Kind::Unknown;
+    std::string arg;  ///< guarded-by mutex name (empty otherwise).
+    std::string name; ///< The raw annotation word, for messages.
+    int line = 0;     ///< 0-based line of the annotation comment.
+    bool malformed = false; ///< guarded-by without a parsable (mutex).
+};
+
+/** A mutable static-storage variable declaration. */
+struct VarDecl
+{
+    enum class Storage
+    {
+        NamespaceScope, ///< namespace/file-scope variable
+        StaticLocal,    ///< function-local `static`
+        StaticMember,   ///< in-class `static`/`static inline` member
+    };
+    std::string name;
+    Storage storage = Storage::NamespaceScope;
+    int line = 0; ///< 0-based declaration line.
+};
+
+/** Span of one function definition's body. */
+struct FunctionSpan
+{
+    std::string name;     ///< Unqualified function name.
+    int headLine = 0;     ///< 0-based line of the opening brace.
+    int bodyBeginLine = 0;
+    int bodyEndLine = 0;
+    std::size_t bodyBegin = 0; ///< codeText offset just past '{'.
+    std::size_t bodyEnd = 0;   ///< codeText offset of the closing '}'.
+};
+
+/** An EventQueue& local bound from ParallelScheduler::shard(...). */
+struct QueueAlias
+{
+    std::string name;
+    int line = 0;          ///< 0-based declaration line.
+    int functionIdx = -1;  ///< Index into FileModel::functions, or -1.
+};
+
+/** The pass-1 symbol model of one file. */
+struct FileModel
+{
+    std::vector<Annotation> annotations;
+    std::vector<VarDecl> mutableStatics;
+    std::set<std::string> unorderedNames;   ///< unordered_{map,set} vars
+    std::set<std::string> pointerKeyedNames;///< std::map<T*,..>/set<T*>
+    std::set<std::string> mutexes;          ///< declared mutex names
+    std::set<std::string> floatNames;       ///< double/float/stats::Scalar
+    std::vector<FunctionSpan> functions;
+    std::vector<QueueAlias> queueAliases;
+};
+
+FileModel buildModel(const PreparedFile &p);
+
+/**
+ * The annotation of `kind` attached to 0-based `line` — i.e. written on
+ * that line or the line directly above — or nullptr.
+ */
+const Annotation *findAnnotation(const FileModel &m, int line,
+                                 Annotation::Kind kind);
+
+/** Index of the function span containing 0-based `line`, or -1. */
+int enclosingFunction(const FileModel &m, int line);
+
+} // namespace nova::lint
+
+#endif // NOVA_NOVALINT_MODEL_HH

@@ -1,0 +1,116 @@
+#include "sarif.hh"
+
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+namespace nova::lint
+{
+
+namespace
+{
+
+/** JSON string escaping (control chars, quotes, backslashes). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::ostringstream os;
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            os << "\\\"";
+            break;
+        case '\\':
+            os << "\\\\";
+            break;
+        case '\n':
+            os << "\\n";
+            break;
+        case '\r':
+            os << "\\r";
+            break;
+        case '\t':
+            os << "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    return os.str();
+}
+
+} // namespace
+
+std::string
+renderSarif(const std::vector<Diagnostic> &diags)
+{
+    // Rules referenced by at least one result come first, in catalog
+    // order, so every result's ruleIndex is stable and compact; code
+    // scanning only displays referenced rules anyway.
+    std::set<std::string> used;
+    for (const Diagnostic &d : diags)
+        used.insert(d.rule);
+    std::vector<std::string> rules;
+    std::ostringstream rule_json;
+    for (const std::string &r : ruleNames()) {
+        if (used.count(r) == 0)
+            continue;
+        if (!rules.empty())
+            rule_json << ",";
+        rule_json << "\n        {\"id\": \"" << jsonEscape(r)
+                  << "\", \"shortDescription\": {\"text\": \""
+                  << jsonEscape(ruleDescription(r))
+                  << "\"}, \"defaultConfiguration\": {\"level\": "
+                     "\"error\"}}";
+        rules.push_back(r);
+    }
+
+    std::ostringstream results;
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+        const Diagnostic &d = diags[i];
+        std::size_t rule_idx = 0;
+        for (; rule_idx < rules.size(); ++rule_idx)
+            if (rules[rule_idx] == d.rule)
+                break;
+        if (i)
+            results << ",";
+        results << "\n      {\"ruleId\": \"" << jsonEscape(d.rule)
+                << "\", \"ruleIndex\": " << rule_idx
+                << ", \"level\": \"error\", \"message\": {\"text\": \""
+                << jsonEscape(d.message)
+                << "\"}, \"locations\": [{\"physicalLocation\": "
+                   "{\"artifactLocation\": {\"uri\": \""
+                << jsonEscape(d.file)
+                << "\"}, \"region\": {\"startLine\": " << d.line
+                << "}}}]}";
+    }
+
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+          "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+       << "  \"version\": \"2.1.0\",\n"
+       << "  \"runs\": [{\n"
+       << "    \"tool\": {\"driver\": {\n"
+       << "      \"name\": \"nova-lint\",\n"
+       << "      \"informationUri\": "
+          "\"docs/STATIC_ANALYSIS.md\",\n"
+       << "      \"rules\": [" << rule_json.str()
+       << (rules.empty() ? "" : "\n      ") << "]\n"
+       << "    }},\n"
+       << "    \"results\": [" << results.str()
+       << (diags.empty() ? "" : "\n    ") << "]\n"
+       << "  }]\n"
+       << "}\n";
+    return os.str();
+}
+
+} // namespace nova::lint

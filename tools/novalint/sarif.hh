@@ -1,0 +1,28 @@
+/**
+ * @file
+ * SARIF 2.1.0 rendering of nova-lint diagnostics.
+ *
+ * GitHub code scanning ingests SARIF; emitting it from the lint job
+ * turns every finding into an inline PR annotation instead of a line in
+ * a build log. The renderer covers exactly the subset code scanning
+ * reads: tool metadata with per-rule descriptions, and one result per
+ * diagnostic with a physical location.
+ */
+
+#ifndef NOVA_NOVALINT_SARIF_HH
+#define NOVA_NOVALINT_SARIF_HH
+
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace nova::lint
+{
+
+/** Render diagnostics as a complete SARIF 2.1.0 document. */
+std::string renderSarif(const std::vector<Diagnostic> &diags);
+
+} // namespace nova::lint
+
+#endif // NOVA_NOVALINT_SARIF_HH
