@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+#
+# Crash-recovery supervision soak (docs/RESILIENCE.md, "Supervision"):
+#
+#   1. `verify --soak=N`: N supervised crash/restart campaigns, one per
+#      graph family, each injecting a GPN hard-death plus a shard-worker
+#      crash at fuzz-chosen ticks. Every campaign must finish with at
+#      least one restart and pass the differential check.
+#   2. One supervised run with a recovery report: assert the JSON says
+#      the run was restarted, a vertex slice was remapped onto the
+#      survivors, and no crash loop was declared.
+#   3. The give-up contract: a child that always crashes must exhaust
+#      its retries and exit 3 (sim::exitSupervisionFailed).
+#
+# Usage: scripts/supervise_soak.sh <path-to-nova_cli> [workdir]
+#                                  [campaigns] [seed]
+
+set -euo pipefail
+
+CLI="$(cd "$(dirname "$1")" && pwd)/$(basename "$1")"
+WORK="${2:-$(mktemp -d)}"
+CAMPAIGNS="${3:-6}"
+SEED="${4:-7}"
+SUPERVISE="$(dirname "${CLI}")/../nova_supervise"
+[ -x "${SUPERVISE}" ] || SUPERVISE="$(dirname "${CLI}")/nova_supervise"
+
+mkdir -p "${WORK}"
+cd "${WORK}"
+
+echo "=== soak: ${CAMPAIGNS} supervised crash/restart campaigns ==="
+"${CLI}" verify --soak="${CAMPAIGNS}" --seed="${SEED}"
+
+echo "=== supervised run with recovery report ==="
+CKPT="${WORK}/supervised.ckpt"
+REPORT="${WORK}/recovery.json"
+rm -f "${CKPT}" "${CKPT}".* "${REPORT}"
+"${CLI}" --supervise run --engine=nova --workload=pr \
+    --graph=uniform:260:1700 --seed=5 --gpns=2 \
+    --checkpoint-every=1 --checkpoint-file="${CKPT}" \
+    --keep-generations=2 --crash-bundle="${WORK}/crash_bundle.txt" \
+    --faults='gpn.dead@gpn1:tick=9+shard.crash@gpn0:tick=40' \
+    --max-restarts=3 --backoff-ms=0 --crash-loop=2 \
+    --recovery-report="${REPORT}" | tee supervised.txt
+grep -q "validation: OK" supervised.txt
+
+json_u64() {
+    sed -n "s/.*\"$1\": \([0-9][0-9]*\).*/\1/p" "${REPORT}" | head -1
+}
+test -s "${REPORT}"
+grep -q '"schema": "nova-recovery-1"' "${REPORT}"
+grep -q '"crashLoop": false' "${REPORT}"
+RESTARTS="$(json_u64 restarts)"
+MIGRATED="$(json_u64 migratedVertices)"
+if [ "${RESTARTS}" -lt 1 ]; then
+    echo "supervise_soak: expected at least one restart" >&2
+    exit 1
+fi
+if [ "${MIGRATED}" -lt 1 ]; then
+    echo "supervise_soak: expected a vertex-slice remap" >&2
+    exit 1
+fi
+echo "supervised run: ${RESTARTS} restart(s), ${MIGRATED} vertices remapped"
+
+echo "=== give-up contract: always-crashing child exits 3 ==="
+set +e
+"${SUPERVISE}" --max-restarts=2 --backoff-ms=0 --crash-loop=5 -- \
+    /bin/sh -c 'exit 2' >/dev/null 2>&1
+RC=$?
+set -e
+if [ "${RC}" -ne 3 ]; then
+    echo "supervise_soak: give-up exit was ${RC}, want 3" >&2
+    exit 1
+fi
+
+echo "supervise_soak: OK"

@@ -128,6 +128,15 @@ Mpu::clearTouched()
 }
 
 void
+Mpu::onStoreGrown()
+{
+    NOVA_ASSERT(touchedList.empty() && !stalled,
+                "store of MPU '", name(), "' grew while busy");
+    if (bspMode)
+        touchedFlag.resize(store.numLocal(), 0);
+}
+
+void
 Mpu::saveState(sim::CheckpointWriter &w) const
 {
     NOVA_ASSERT(!stalled && !workEvent.scheduled(),

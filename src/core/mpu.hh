@@ -43,6 +43,13 @@ class Mpu : public sim::ClockedObject
     /** Reset the touched set at a BSP barrier. */
     void clearTouched();
 
+    /**
+     * Failover hook: the backing store adopted vertices from a dead
+     * GPN. Resizes the per-local touched bitmap; only valid between
+     * supersteps (touched set already cleared).
+     */
+    void onStoreGrown();
+
     /** Messages popped but not yet reduced (watchdog pending probe). */
     std::uint64_t pendingWork() const { return stalled ? 1 : 0; }
 

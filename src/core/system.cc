@@ -48,7 +48,26 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
         sim::fatal("mapping has ", map.parts(), " parts but the system has ",
                    num_pes, " PEs");
 
+    // The run's own mutable copy of the placement: GPN failover
+    // reassigns a dead GPN's vertices here, and every component reads
+    // placement through it.
+    graph::VertexMapping live_map = map;
+
     program.bind(g);
+
+    // Each run starts with a clean checkpoint-generation error context;
+    // resume and every successful write update it below.
+    sim::setCheckpointContext("");
+
+    // The fault injector must exist before any component registers its
+    // injection points, and the schedule must be installed before that.
+    // With no schedule the injector is absent entirely, so a fault-free
+    // run is bit-identical to a build without the subsystem.
+    std::optional<sim::FaultInjector> injector;
+    if (!cfg.faultSchedule.empty()) {
+        injector.emplace(cfg.faultSeed);
+        injector->configure(cfg.faultSchedule);
+    }
 
     // threads == 0: the original serial scheduler, bit-compatible with
     // earlier releases. threads >= 1: conservative-PDES sharding, one
@@ -58,9 +77,10 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
     // (numGpns), never on the thread count.
     const bool sharded = cfg.threads > 0;
     if (sharded) {
-        if (!cfg.faultSchedule.empty())
-            sim::fatal("--threads does not support fault injection (the "
-                       "injector's draw order is schedule-global)");
+        if (injector && injector->hasTransient())
+            sim::fatal("--threads does not support transient fault "
+                       "injection (the injector's draw order is "
+                       "schedule-global); hard tick= kinds are fine");
         if (cfg.watchdogIntervalEvents > 0)
             sim::fatal("--threads does not support the watchdog (its "
                        "probes read cross-shard state mid-window)");
@@ -105,16 +125,12 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
     if (sim::profile::Registry::armed())
         sim::profile::Registry::instance().reset();
 
-    // The fault injector must exist before any component registers its
-    // injection points, and the schedule must be installed before that.
-    // With no schedule the injector is absent entirely, so a fault-free
-    // run is bit-identical to a build without the subsystem.
-    std::optional<sim::FaultInjector> injector;
-    if (!cfg.faultSchedule.empty()) {
-        injector.emplace(cfg.faultSeed);
-        injector->configure(cfg.faultSchedule);
+    // Attach the injector to the serial queue so components register
+    // their transient points. Shard queues never carry an injector
+    // (the sharded fabric asserts that); hard faults don't need
+    // opportunity points — the system applies them at barriers.
+    if (injector && !sharded)
         serial_eq->setFaultInjector(&*injector);
-    }
     if (cfg.maxTicks > 0 || cfg.maxEvents > 0) {
         if (sharded)
             sched->setGuard(cfg.maxTicks, cfg.maxEvents);
@@ -146,7 +162,8 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
         const std::string base = "pe" + std::to_string(pe);
         sim::EventQueue &peq = queueFor(pe);
         PeParts &p = pes[pe];
-        p.store = std::make_unique<VertexStore>(g, map, pe, cfg, program);
+        p.store = std::make_unique<VertexStore>(g, live_map, pe, cfg,
+                                                program);
         p.vertexMem = std::make_unique<mem::MemorySystem>(
             base + ".vertexMem", peq, cfg.vertexMem, 1);
         mem::CacheConfig ccfg;
@@ -160,11 +177,11 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
                                       *p.vertexMem, program);
         p.mpu = std::make_unique<Mpu>(base + ".mpu", peq, cfg, pe,
                                       *p.store, *p.cache, *net, *p.vmu,
-                                      program, map, countersFor(pe));
+                                      program, live_map, countersFor(pe));
         p.mgu = std::make_unique<Mgu>(base + ".mgu", peq, cfg, pe,
                                       *p.store,
                                       *edge_mems[pe / cfg.pesPerGpn], *net,
-                                      *p.vmu, program, map,
+                                      *p.vmu, program, live_map,
                                       countersFor(pe));
     }
     for (auto &p : pes)
@@ -246,6 +263,10 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
         sim::fatal("checkpoint/resume needs a BSP program; ",
                    program.name(), " runs asynchronously (its only "
                    "quiescent point is completion)");
+    if (injector && !injector->hardFaults().empty() && !bsp)
+        sim::fatal("hard faults apply at BSP barriers; ", program.name(),
+                   " runs asynchronously (no global quiescent point to "
+                   "fail over at)");
 
     // Pre-bucket scheduled activations (BSP level schedules).
     std::map<std::int64_t, std::vector<graph::VertexId>> schedule;
@@ -260,9 +281,9 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
     // Explicit captures (novalint capture-default): inject is only ever
     // called synchronously from this frame, never scheduled on the event
     // queue, so reference captures of the run-scoped state are safe.
-    auto inject = [&pes, &map, &program](graph::VertexId v) {
-        const std::uint32_t pe = map.partOf(v);
-        const graph::VertexId local = map.localOf(v);
+    auto inject = [&pes, &live_map, &program](graph::VertexId v) {
+        const std::uint32_t pe = live_map.partOf(v);
+        const graph::VertexId local = live_map.localOf(v);
         pes[pe].vmu->activate(
             local, program.propagateValue(pes[pe].store->cur(local), v));
     };
@@ -270,6 +291,17 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
     RunResult result;
     std::uint64_t iter = 0;
     std::vector<graph::VertexId> next_active;
+
+    // Hard-fault (permanent failure) bookkeeping. `hardApplied` rides
+    // in the checkpoint's meta section so a resumed run replays exactly
+    // the degraded topology the checkpoint was written under, *before*
+    // the per-component state (whose shapes depend on it) is restored.
+    const std::size_t num_hard =
+        injector ? injector->hardFaults().size() : 0;
+    std::vector<std::uint8_t> hardApplied(num_hard, 0);
+    std::uint64_t gpnsFailed = 0, migratedVertices = 0, linksDown = 0;
+    std::uint64_t spillRegionsLost = 0, shardCrashes = 0;
+    std::vector<std::uint8_t> deadGpn(cfg.numGpns, 0);
 
     // Checkpoints are only taken at BSP barriers: the queue is drained,
     // no messages are in flight and no component holds a closure, so the
@@ -280,9 +312,13 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
         // Runs synchronously at the barrier, never outlives this frame.
         [&](std::uint64_t at_iter, // novalint:allow(capture-default)
             const std::vector<graph::VertexId> &frontier) {
-            std::ofstream os(ckpt.path, std::ios::trunc);
+            // Atomic + durable: write <path>.tmp, fsync, rotate the
+            // generation chain, rename into place. A crash mid-write
+            // can only lose the tmp file, never an existing generation.
+            const std::string tmp = ckpt.path + ".tmp";
+            std::ofstream os(tmp, std::ios::trunc);
             if (!os)
-                sim::fatal("cannot write checkpoint file ", ckpt.path);
+                sim::fatal("cannot write checkpoint file ", tmp);
             sim::CheckpointWriter w(os);
             w.section("meta");
             w.str("engine", "nova");
@@ -297,6 +333,14 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
             // thread count is free to differ (the sharded schedule is
             // thread-count invariant).
             w.u64("shards", sharded ? cfg.numGpns : 0);
+            w.u64vec("hardApplied",
+                     std::vector<std::uint64_t>(hardApplied.begin(),
+                                                hardApplied.end()));
+            w.u64("gpnsFailed", gpnsFailed);
+            w.u64("migratedVertices", migratedVertices);
+            w.u64("linksDown", linksDown);
+            w.u64("spillRegionsLost", spillRegionsLost);
+            w.u64("shardCrashes", shardCrashes);
             w.section("eventq");
             if (sharded) {
                 for (std::uint32_t s = 0; s < cfg.numGpns; ++s) {
@@ -359,16 +403,149 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
             w.u64vec("nextActive",
                      std::vector<std::uint64_t>(frontier.begin(),
                                                 frontier.end()));
+            w.finish();
             os.flush();
             if (!w.good() || !os)
-                sim::fatal("writing checkpoint ", ckpt.path, " failed");
+                sim::fatal("writing checkpoint ", tmp, " failed");
+            os.close();
+            sim::commitCheckpointDurable(tmp, ckpt.path,
+                                         ckpt.keepGenerations);
+            sim::setCheckpointContext("gen 0 (" + ckpt.path + "), iter " +
+                                      std::to_string(at_iter));
+        };
+
+    // Apply one parsed hard fault. `replay` re-creates the degraded
+    // topology during resume — state changes only: no checkpoint write,
+    // no crash, no counter bumps (those are restored from the
+    // checkpoint's own meta section).
+    auto applyHardFault =
+        // Runs synchronously at barriers (or during resume), never
+        // outlives this frame.
+        [&](std::size_t idx, // novalint:allow(capture-default)
+            bool replay) {
+            const sim::HardFault &h = injector->hardFaults()[idx];
+            hardApplied[idx] = 1;
+            switch (h.kind) {
+              case sim::HardFault::Kind::GpnDead: {
+                if (h.target >= cfg.numGpns)
+                    sim::fatal("gpn.dead@gpn", h.target,
+                               " is out of range (", cfg.numGpns,
+                               " GPNs)");
+                if (deadGpn[h.target])
+                    break; // duplicate schedule entry; already dead
+                deadGpn[h.target] = 1;
+                std::vector<std::uint32_t> survivors;
+                for (std::uint32_t pe = 0; pe < num_pes; ++pe)
+                    if (!deadGpn[pe / cfg.pesPerGpn])
+                        survivors.push_back(pe);
+                if (survivors.empty())
+                    sim::fatal("gpn.dead@gpn", h.target,
+                               ": no surviving GPN to fail over to");
+                // Deal the dead GPN's vertices round-robin onto the
+                // survivors in ascending global order — a pure
+                // function of (mapping, fault order), so a resumed run
+                // replays the identical layout.
+                live_map.materialize();
+                std::vector<std::vector<AdoptedVertex>> adopted(num_pes);
+                std::uint64_t dealt = 0;
+                for (graph::VertexId v = 0; v < g.numVertices(); ++v) {
+                    const std::uint32_t pe = live_map.partOf(v);
+                    if (pe / cfg.pesPerGpn != h.target)
+                        continue;
+                    VertexStore &dead = *pes[pe].store;
+                    const graph::VertexId local = live_map.localOf(v);
+                    NOVA_ASSERT(!dead.isActiveNow(local) &&
+                                    dead.bufferCount(local) == 0,
+                                "migrating a non-quiescent vertex");
+                    const std::uint32_t to =
+                        survivors[dealt % survivors.size()];
+                    ++dealt;
+                    adopted[to].push_back(AdoptedVertex{
+                        v, dead.cur(local), dead.acc(local)});
+                    live_map.reassign(v, to);
+                }
+                for (const std::uint32_t pe : survivors) {
+                    if (adopted[pe].empty())
+                        continue;
+                    pes[pe].store->adoptVertices(g, adopted[pe]);
+                    pes[pe].vmu->onStoreGrown();
+                    pes[pe].mpu->onStoreGrown();
+                }
+                if (sharded)
+                    sched->retireShard(h.target,
+                                       survivors.front() / cfg.pesPerGpn);
+                if (!replay) {
+                    ++gpnsFailed;
+                    migratedVertices += dealt;
+                }
+                break;
+              }
+              case sim::HardFault::Kind::LinkDown:
+                if (h.target >= cfg.numGpns)
+                    sim::fatal("noc.linkdown@gpn", h.target,
+                               " is out of range (", cfg.numGpns,
+                               " GPNs)");
+                net->setLinkDown(h.target);
+                if (!replay)
+                    ++linksDown;
+                break;
+              case sim::HardFault::Kind::SpillLoss:
+                if (h.target >= num_pes)
+                    sim::fatal("spill.loss@pe", h.target,
+                               " is out of range (", num_pes, " PEs)");
+                pes[h.target].vmu->loseSpillRegion();
+                if (!replay)
+                    ++spillRegionsLost;
+                break;
+              case sim::HardFault::Kind::ShardCrash:
+                if (replay)
+                    break; // the crash already happened pre-checkpoint
+                ++shardCrashes;
+                // Record the crash as applied *inside* a forced
+                // checkpoint so the restarted run resumes past this
+                // barrier instead of crash-looping on it.
+                if (ckpt.everyIters > 0 || ckpt.stopAfterIters > 0 ||
+                    !ckpt.resumePath.empty())
+                    write_checkpoint(iter, next_active);
+                sim::panic("injected hard fault: shard.crash@gpn",
+                           h.target, " at iteration ", iter);
+            }
+        };
+
+    // Barrier hook: apply every not-yet-applied hard fault whose tick
+    // threshold has been reached, in schedule order.
+    auto applyPendingHardFaults =
+        [&] { // novalint:allow(capture-default) synchronous at barriers
+            if (num_hard == 0)
+                return;
+            const sim::Tick t = sharded ? sched->now() : serial_eq->now();
+            for (std::size_t i = 0; i < num_hard; ++i)
+                if (!hardApplied[i] &&
+                    injector->hardFaults()[i].atTick <= t)
+                    applyHardFault(i, false);
         };
 
     bool resume_entry = false;
     if (!ckpt.resumePath.empty()) {
-        std::ifstream is(ckpt.resumePath);
+        // Self-healing resume: walk the generation chain and restore
+        // from the newest file that passes validation. A truncated or
+        // bit-flipped newest generation falls back to the previous one
+        // instead of killing the run.
+        const sim::GenerationPick pick = sim::newestValidCheckpoint(
+            ckpt.resumePath, ckpt.keepGenerations);
+        if (pick.path.empty()) {
+            std::string detail;
+            for (const std::string &rej : pick.rejected)
+                detail += "\n  " + rej;
+            sim::fatal("no valid checkpoint generation at ",
+                       ckpt.resumePath, " (keep=", ckpt.keepGenerations,
+                       "):", detail);
+        }
+        for (const std::string &rej : pick.rejected)
+            sim::warn("checkpoint fallback: skipping ", rej);
+        std::ifstream is(pick.path);
         if (!is)
-            sim::fatal("cannot open checkpoint ", ckpt.resumePath);
+            sim::fatal("cannot open checkpoint ", pick.path);
         sim::CheckpointReader r(is);
         r.section("meta");
         if (r.str("engine") != "nova")
@@ -398,6 +575,23 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
                                : std::string("the serial scheduler"),
                        " (--threads toggles sharding; the thread count "
                        "itself is free)");
+        const std::vector<std::uint64_t> applied_v =
+            r.u64vec("hardApplied");
+        if (applied_v.size() != num_hard)
+            sim::fatal("checkpoint hard-fault count mismatch (",
+                       applied_v.size(), " recorded, schedule has ",
+                       num_hard, ")");
+        gpnsFailed = r.u64("gpnsFailed");
+        migratedVertices = r.u64("migratedVertices");
+        linksDown = r.u64("linksDown");
+        spillRegionsLost = r.u64("spillRegionsLost");
+        shardCrashes = r.u64("shardCrashes");
+        // Replay the degraded topology the checkpoint was written under
+        // *before* restoring component state: the pe-section shapes
+        // (store sizes, VMU counters, retired shards) depend on it.
+        for (std::size_t i = 0; i < num_hard; ++i)
+            if (applied_v[i] != 0)
+                applyHardFault(i, true);
         r.section("eventq");
         if (sharded) {
             for (std::uint32_t s = 0; s < cfg.numGpns; ++s) {
@@ -462,6 +656,10 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
         next_active.clear();
         for (const std::uint64_t v : r.u64vec("nextActive"))
             next_active.push_back(static_cast<graph::VertexId>(v));
+        r.finish();
+        sim::setCheckpointContext("gen " + std::to_string(pick.generation) +
+                                  " (" + pick.path + "), iter " +
+                                  std::to_string(iter));
 
         // Iterations before the checkpoint already consumed their
         // scheduled activations; the checkpoint iteration's own entry
@@ -536,6 +734,11 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
                     pes[pe].mpu->clearTouched();
                 }
 
+                // Permanent faults strike at the barrier — the only
+                // point of global quiescence, where no vertex is
+                // buffered and no message is in flight.
+                applyPendingHardFaults();
+
                 if (iter >= program.maxIterations())
                     break;
 
@@ -591,7 +794,7 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
     result.props.resize(g.numVertices());
     for (graph::VertexId v = 0; v < g.numVertices(); ++v)
         result.props[v] =
-            pes[map.partOf(v)].store->cur(map.localOf(v));
+            pes[live_map.partOf(v)].store->cur(live_map.localOf(v));
     for (const RunCounters &c : counters) {
         result.messagesProcessed += c.messagesProcessed;
         result.messagesGenerated += c.messagesGenerated;
@@ -751,6 +954,32 @@ NovaSystem::run(VertexProgram &program, const graph::Csr &g,
                                     cache_ecc + scrubs + recomputes +
                                     net->retries.value() +
                                     net->duplicatesDiscarded.value();
+        // Degraded-mode outcome, present only when the schedule carries
+        // permanent (hard) faults.
+        if (num_hard > 0) {
+            double applied = 0;
+            for (const std::uint8_t a : hardApplied)
+                applied += a;
+            double degraded_inserts = 0;
+            for (auto &p : pes)
+                degraded_inserts += p.vmu->degradedInserts.value();
+            extra["failover.hardFaultsApplied"] = applied;
+            extra["failover.gpnsFailed"] =
+                static_cast<double>(gpnsFailed);
+            extra["failover.migratedVertices"] =
+                static_cast<double>(migratedVertices);
+            extra["failover.linksDown"] = static_cast<double>(linksDown);
+            extra["failover.spillRegionsLost"] =
+                static_cast<double>(spillRegionsLost);
+            extra["failover.shardCrashes"] =
+                static_cast<double>(shardCrashes);
+            extra["failover.degradedInserts"] = degraded_inserts;
+            extra["failover.net.reroutes"] = net->reroutes.value();
+            extra["failover.net.rerouteRetries"] =
+                net->rerouteRetries.value();
+            extra["failover.net.rerouteDelayTicks"] =
+                net->rerouteDelayTicks.value();
+        }
     }
     return result;
 }

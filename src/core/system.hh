@@ -38,6 +38,12 @@ struct CheckpointPolicy
      * (0 = run to completion). Used to exercise kill/resume.
      */
     std::uint64_t stopAfterIters = 0;
+    /**
+     * Keep this many checkpoint generations: the newest at `path`, the
+     * previous at `path.1`, and so on. Resume falls back to the newest
+     * generation that passes validation (self-healing checkpoints).
+     */
+    unsigned keepGenerations = 1;
 
     bool
     any() const

@@ -128,6 +128,36 @@ VertexStore::restoreState(sim::CheckpointReader &r)
         activeInBlock[i] = static_cast<std::uint16_t>(aib[i]);
 }
 
+void
+VertexStore::adoptVertices(const graph::Csr &g,
+                           const std::vector<AdoptedVertex> &entries)
+{
+    for (const AdoptedVertex &a : entries) {
+        NOVA_ASSERT(a.global < g.numVertices(),
+                    "adopted vertex outside the graph");
+        localToGlobal.push_back(a.global);
+        curProp.push_back(a.cur);
+        accProp.push_back(a.acc);
+        activeNow.push_back(0);
+        inBufferCount.push_back(0);
+        for (EdgeId e = g.edgeBegin(a.global); e < g.edgeEnd(a.global);
+             ++e) {
+            edgeDst.push_back(g.edgeDest(e));
+            if (g.weighted())
+                edgeWgt.push_back(g.edgeWeight(e));
+        }
+        rowPtr.push_back(edgeDst.size());
+        ++numLocalVerts;
+    }
+    // Appending never moves existing vertices between blocks (blockOf is
+    // pure arithmetic on the local index), so only the tail grows.
+    numBlocksTotal = (numLocalVerts + vpb - 1) / vpb;
+    numSbTotal = (numBlocksTotal + sbDim - 1) / sbDim;
+    if (numSbTotal == 0)
+        numSbTotal = 1;
+    activeInBlock.resize(std::max<std::uint32_t>(1, numBlocksTotal), 0);
+}
+
 std::uint32_t
 VertexStore::exactActiveBlocks(std::uint32_t superblock) const
 {

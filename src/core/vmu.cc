@@ -29,6 +29,7 @@ Vmu::Vmu(std::string name, sim::EventQueue &queue, const NovaConfig &cfg_,
     statistics().addScalar("counterReconciliations",
                            &counterReconciliations);
     statistics().addScalar("spillScrubs", &spillScrubs);
+    statistics().addScalar("degradedInserts", &degradedInserts);
 
     if (sim::FaultInjector *inj = queue.faultInjector())
         spillPoint = inj->registerPoint("spill.corrupt", this->name());
@@ -52,6 +53,8 @@ Vmu::activate(VertexId local, std::uint64_t alpha)
         // Eager policy: no coalescing; duplicates are allowed.
         if (freeSlots() > 0)
             directInsert(local, alpha);
+        else if (spillLost)
+            emergencyInsert(local, alpha);
         else
             spillFifo(local);
         return;
@@ -67,13 +70,29 @@ Vmu::activate(VertexId local, std::uint64_t alpha)
     if (store.bufferCount(local) > 0) {
         // A stale snapshot is already queued; re-track so the new
         // value propagates too.
-        spillOverwrite(local);
+        if (spillLost)
+            emergencyInsert(local, alpha);
+        else
+            spillOverwrite(local);
         return;
     }
     if (freeSlots() > 0)
         directInsert(local, alpha);
+    else if (spillLost)
+        emergencyInsert(local, alpha);
     else
         spillOverwrite(local);
+}
+
+void
+Vmu::emergencyInsert(VertexId local, std::uint64_t alpha)
+{
+    // Degraded mode after spill.loss: the spill region is gone, so an
+    // activation that would spill over-commits the buffer instead (a
+    // reserved emergency slice). freeSlots() saturates at zero, so the
+    // prefetcher simply never triggers while over-committed.
+    ++degradedInserts;
+    directInsert(local, alpha);
 }
 
 void
@@ -245,6 +264,24 @@ Vmu::endBurst()
     }
     scanActive = false;
     maybePrefetch();
+}
+
+void
+Vmu::loseSpillRegion()
+{
+    NOVA_ASSERT(pendingWork() == 0 && !scanActive && reservedSlots == 0 &&
+                    !fifoFetchActive,
+                "spill region lost while VMU '", name(), "' is busy");
+    spillLost = true;
+}
+
+void
+Vmu::onStoreGrown()
+{
+    NOVA_ASSERT(pendingWork() == 0 && !scanActive && reservedSlots == 0 &&
+                    !fifoFetchActive,
+                "store of VMU '", name(), "' grew while busy");
+    counters.resize(store.numSuperblocks(), 0);
 }
 
 void

@@ -38,6 +38,9 @@ Network::Network(std::string name, sim::EventQueue &queue,
     statistics().addScalar("retryBackoffTicks", &retryBackoffTicks);
     statistics().addScalar("duplicatesDiscarded", &duplicatesDiscarded);
     statistics().addScalar("reorders", &reorders);
+    statistics().addScalar("reroutes", &reroutes);
+    statistics().addScalar("rerouteRetries", &rerouteRetries);
+    statistics().addScalar("rerouteDelayTicks", &rerouteDelayTicks);
 
     if (sim::FaultInjector *inj = queue.faultInjector()) {
         dropPoint = inj->registerPoint("noc.drop", this->name());
@@ -110,8 +113,43 @@ Network::popInbound(std::uint32_t pe)
 }
 
 void
+Network::setLinkDown(std::uint32_t gpn)
+{
+    const std::uint32_t num_gpns = cfg.numPes / cfg.pesPerGpn;
+    NOVA_ASSERT(gpn < num_gpns, "link-down target out of range");
+    if (linkDownGpn.empty())
+        linkDownGpn.assign(num_gpns, 0);
+    linkDownGpn[gpn] = 1;
+}
+
+Tick
+Network::linkDownDelay() const
+{
+    Tick wait = cfg.xbarLatency;
+    for (std::uint32_t a = 0; a <= cfg.retryBackoffCap; ++a)
+        wait = sim::tickAdd(wait,
+                            sim::tickMul(cfg.retryTimeout, Tick(1) << a));
+    return wait;
+}
+
+void
 Network::deliver(const Message &msg, Tick inject_tick)
 {
+    if (needsReroute(msg)) {
+        // The primary crossbar path is hard-down: the sender exhausts
+        // the bounded retry ladder, then the flit crosses via the
+        // maintenance path. Deterministic (no randomness), so faulted
+        // runs stay replayable.
+        const Tick wait = linkDownDelay();
+        reroutes += 1;
+        rerouteRetries += static_cast<double>(cfg.retryBackoffCap + 1);
+        rerouteDelayTicks += static_cast<double>(wait);
+        Message copy = msg;
+        eventQueue().scheduleIn(wait, [this, copy, inject_tick] {
+            deliverAttempt(copy, inject_tick, 0);
+        });
+        return;
+    }
     deliverAttempt(msg, inject_tick, 0);
 }
 

@@ -71,7 +71,20 @@ ShardedHierarchicalNetwork::ShardedHierarchicalNetwork(
         auto uplink_exit = [this, g](const Message &msg, Tick inject,
                                      Tick exit_tick) {
             const std::uint32_t dst = gpnOf(msg.dstPe);
-            sched.postCross(g, dst, exit_tick, sim::defaultPriority,
+            Tick when = exit_tick;
+            if (needsReroute(msg)) {
+                // Same deterministic dead-link penalty as the serial
+                // fabric: exhaust the retry ladder, then cross via the
+                // maintenance path. Flags mutate only at barriers, so
+                // this read off the shard thread is race-free.
+                const Tick wait = linkDownDelay();
+                Shard &sh = *shards[g];
+                ++sh.d.reroutes;
+                sh.d.rerouteRetries += cfg.retryBackoffCap + 1;
+                sh.d.rerouteDelayTicks += wait;
+                when = sim::tickAdd(when, wait);
+            }
+            sched.postCross(g, dst, when, sim::defaultPriority,
                             [this, dst, msg, inject] {
                                 shards[dst]->downlink->push(msg, inject);
                             });
@@ -278,8 +291,11 @@ ShardedHierarchicalNetwork::foldStats()
         crossGpnMessages += static_cast<double>(d.crossGpnMessages);
         sendRejects += static_cast<double>(d.sendRejects);
         reorders += static_cast<double>(d.reorders);
+        reroutes += static_cast<double>(d.reroutes);
+        rerouteRetries += static_cast<double>(d.rerouteRetries);
         bytesSent += d.bytesSent;
         totalLatency += d.totalLatency;
+        rerouteDelayTicks += static_cast<double>(d.rerouteDelayTicks);
         d = StatDeltas{};
     }
 }

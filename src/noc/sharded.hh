@@ -149,6 +149,9 @@ class ShardedHierarchicalNetwork : public Network
         std::uint64_t crossGpnMessages = 0;
         std::uint64_t sendRejects = 0;
         std::uint64_t reorders = 0;
+        std::uint64_t reroutes = 0;
+        std::uint64_t rerouteRetries = 0;
+        std::uint64_t rerouteDelayTicks = 0;
         double bytesSent = 0;
         double totalLatency = 0;
     };

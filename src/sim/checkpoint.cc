@@ -1,7 +1,15 @@
 #include "sim/checkpoint.hh"
 
+#include <array>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "sim/logging.hh"
 
@@ -43,11 +51,125 @@ validKey(const std::string &key)
     return true;
 }
 
+const std::array<std::uint32_t, 256> &
+crcTable()
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    return table;
+}
+
+/**
+ * Fold one token into a running CRC. The trailing '\n' separates
+ * tokens so "ab"+"c" and "a"+"bc" hash differently; hashing tokens
+ * rather than raw bytes keeps the CRC independent of the whitespace
+ * the writer chose (the reader consumes the stream word-by-word).
+ */
+std::uint32_t
+crcToken(std::uint32_t crc, const std::string &token)
+{
+    const auto &t = crcTable();
+    for (unsigned char c : token)
+        crc = t[(crc ^ c) & 0xFF] ^ (crc >> 8);
+    crc = t[(crc ^ static_cast<unsigned char>('\n')) & 0xFF] ^ (crc >> 8);
+    return crc;
+}
+
+std::string
+crcHex(std::uint32_t final_value)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%08x", final_value);
+    return buf;
+}
+
+/** Strict 1..8-digit lowercase/uppercase hex parse; false on junk. */
+bool
+parseCrcHex(const std::string &s, std::uint32_t &out)
+{
+    if (s.empty() || s.size() > 8)
+        return false;
+    std::uint32_t v = 0;
+    for (char c : s) {
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F')
+            digit = c - 'A' + 10;
+        else
+            return false;
+        v = (v << 4) | static_cast<std::uint32_t>(digit);
+    }
+    out = v;
+    return true;
+}
+
+std::string
+generationPath(const std::string &base, unsigned generation)
+{
+    return generation == 0 ? base
+                           : base + "." + std::to_string(generation);
+}
+
+/** fsync a path; directories are best-effort, files report failure. */
+bool
+fsyncPath(const std::string &path, bool directory)
+{
+    const int fd = ::open(path.c_str(),
+                          O_RDONLY | (directory ? O_DIRECTORY : 0));
+    if (fd < 0)
+        return directory; // a missing/odd dir is tolerable, a file is not
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    return ok || directory;
+}
+
 } // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t bytes, std::uint32_t seed)
+{
+    const auto &t = crcTable();
+    std::uint32_t crc = seed;
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < bytes; ++i)
+        crc = t[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+    return crc;
+}
 
 CheckpointWriter::CheckpointWriter(std::ostream &stream) : os(stream)
 {
-    os << "novackpt 1\n";
+    put("novackpt", false);
+    put("2", true);
+}
+
+void
+CheckpointWriter::put(const std::string &token, bool last)
+{
+    NOVA_ASSERT(!finished, "writing to a finished checkpoint");
+    os << token << (last ? '\n' : ' ');
+    crc = crcToken(crc, token);
+    ++tokensSinceFlush;
+}
+
+void
+CheckpointWriter::flushCrc()
+{
+    if (tokensSinceFlush == 0)
+        return;
+    os << "!crc " << crcHex(crc ^ 0xFFFFFFFFu) << "\n";
+    crc = 0xFFFFFFFFu;
+    tokensSinceFlush = 0;
 }
 
 void
@@ -55,21 +177,32 @@ CheckpointWriter::section(const std::string &name)
 {
     NOVA_ASSERT(validKey(name), "invalid checkpoint section name '", name,
                 "'");
-    os << "@" << name << "\n";
+    flushCrc();
+    put("@" + name, true);
+}
+
+void
+CheckpointWriter::finish()
+{
+    flushCrc();
+    os << "!end\n";
+    finished = true;
 }
 
 void
 CheckpointWriter::u64(const std::string &key, std::uint64_t value)
 {
     NOVA_ASSERT(validKey(key), "invalid checkpoint key '", key, "'");
-    os << key << " " << value << "\n";
+    put(key, false);
+    put(std::to_string(value), true);
 }
 
 void
 CheckpointWriter::f64(const std::string &key, double value)
 {
     NOVA_ASSERT(validKey(key), "invalid checkpoint key '", key, "'");
-    os << key << " " << doubleBits(value) << "\n";
+    put(key, false);
+    put(std::to_string(doubleBits(value)), true);
 }
 
 void
@@ -79,7 +212,8 @@ CheckpointWriter::str(const std::string &key, const std::string &value)
     NOVA_ASSERT(value.find_first_of(" \t\n\r") == std::string::npos,
                 "checkpoint string value for '", key,
                 "' contains whitespace");
-    os << key << " " << (value.empty() ? "-" : value) << "\n";
+    put(key, false);
+    put(value.empty() ? "-" : value, true);
 }
 
 void
@@ -87,10 +221,10 @@ CheckpointWriter::u64vec(const std::string &key,
                          const std::vector<std::uint64_t> &values)
 {
     NOVA_ASSERT(validKey(key), "invalid checkpoint key '", key, "'");
-    os << key << " " << values.size();
-    for (std::uint64_t v : values)
-        os << " " << v;
-    os << "\n";
+    put(key, false);
+    put(std::to_string(values.size()), values.empty());
+    for (std::size_t i = 0; i < values.size(); ++i)
+        put(std::to_string(values[i]), i + 1 == values.size());
 }
 
 void
@@ -98,28 +232,86 @@ CheckpointWriter::f64vec(const std::string &key,
                          const std::vector<double> &values)
 {
     NOVA_ASSERT(validKey(key), "invalid checkpoint key '", key, "'");
-    os << key << " " << values.size();
-    for (double v : values)
-        os << " " << doubleBits(v);
-    os << "\n";
+    put(key, false);
+    put(std::to_string(values.size()), values.empty());
+    for (std::size_t i = 0; i < values.size(); ++i)
+        put(std::to_string(doubleBits(values[i])), i + 1 == values.size());
 }
 
 CheckpointReader::CheckpointReader(std::istream &stream) : is(stream)
 {
-    std::string magic = word("header");
-    std::string version = word("header");
-    if (magic != "novackpt" || version != "1")
+    std::string magic = rawWord("header");
+    std::string version = rawWord("header");
+    if (magic != "novackpt" || (version != "1" && version != "2"))
         fatal("not a NOVA checkpoint (bad header '", magic, " ", version,
               "')");
+    legacy = version == "1";
+    if (!legacy) {
+        crc = crcToken(crc, magic);
+        crc = crcToken(crc, version);
+    }
 }
 
 std::string
-CheckpointReader::word(const std::string &context)
+CheckpointReader::rawWord(const std::string &context)
 {
     std::string w;
     if (!(is >> w))
         fatal("checkpoint truncated while reading ", context);
     return w;
+}
+
+void
+CheckpointReader::checkCrcRecord(const std::string &context)
+{
+    const std::string stored = rawWord("CRC of section '" + curSection +
+                                       "'");
+    std::uint32_t want = 0;
+    if (!parseCrcHex(stored, want))
+        fatal("checkpoint section '", curSection,
+              "' has a malformed CRC record '", stored,
+              "' (reading ", context, ") — file is corrupt");
+    const std::uint32_t got = crc ^ 0xFFFFFFFFu;
+    if (want != got)
+        fatal("checkpoint section '", curSection,
+              "' failed its CRC check (stored ", stored, ", computed ",
+              crcHex(got), ") — file is corrupt");
+    crc = 0xFFFFFFFFu;
+}
+
+std::string
+CheckpointReader::word(const std::string &context)
+{
+    for (;;) {
+        std::string w = rawWord(context);
+        if (!legacy && w == "!crc") {
+            checkCrcRecord(context);
+            continue;
+        }
+        if (w == "!end")
+            fatal("checkpoint ended while reading ", context,
+                  " (file does not match this configuration?)");
+        if (!legacy)
+            crc = crcToken(crc, w);
+        if (w.size() > 1 && w[0] == '@')
+            curSection = w.substr(1);
+        return w;
+    }
+}
+
+void
+CheckpointReader::finish()
+{
+    if (legacy)
+        return;
+    std::string w = rawWord("checkpoint terminator");
+    while (w == "!crc") {
+        checkCrcRecord("checkpoint terminator");
+        w = rawWord("checkpoint terminator");
+    }
+    if (w != "!end")
+        fatal("checkpoint not fully consumed: expected '!end', found '", w,
+              "'");
 }
 
 void
@@ -231,6 +423,133 @@ restoreGroupStats(CheckpointReader &r, stats::Group &group)
     // Sorted map order matches saveGroupStats's collect() order.
     for (auto &[name, scalar] : byName)
         scalar->set(r.f64(name));
+}
+
+bool
+validateCheckpointFile(const std::string &path, std::string *why,
+                       std::uint64_t *iter)
+{
+    const auto invalid = [why](const std::string &reason) {
+        if (why)
+            *why = reason;
+        return false;
+    };
+
+    std::ifstream in(path);
+    if (!in.good())
+        return invalid("cannot open file");
+
+    std::string magic, version;
+    if (!(in >> magic) || magic != "novackpt" || !(in >> version))
+        return invalid("bad header (not a NOVA checkpoint)");
+    if (version == "1")
+        return invalid("version-1 file carries no integrity records");
+    if (version != "2")
+        return invalid("unknown checkpoint version '" + version + "'");
+
+    std::uint32_t crc = 0xFFFFFFFFu;
+    crc = crcToken(crc, magic);
+    crc = crcToken(crc, version);
+
+    std::string section = "header";
+    std::string prev;
+    std::uint64_t pending = 2; // tokens folded since the last CRC flush
+    bool ended = false;
+    bool iter_seen = false;
+    std::string w;
+    while (in >> w) {
+        if (ended)
+            return invalid("trailing data after '!end'");
+        if (w == "!crc") {
+            std::string stored;
+            if (!(in >> stored))
+                return invalid("truncated CRC record in section '" +
+                               section + "'");
+            std::uint32_t want = 0;
+            if (!parseCrcHex(stored, want))
+                return invalid("malformed CRC record '" + stored +
+                               "' in section '" + section + "'");
+            if (want != (crc ^ 0xFFFFFFFFu))
+                return invalid("section '" + section +
+                               "' failed its CRC check");
+            crc = 0xFFFFFFFFu;
+            pending = 0;
+            prev.clear();
+            continue;
+        }
+        if (w == "!end") {
+            if (pending != 0)
+                return invalid("unchecked records before '!end'");
+            ended = true;
+            continue;
+        }
+        crc = crcToken(crc, w);
+        ++pending;
+        if (w.size() > 1 && w[0] == '@') {
+            section = w.substr(1);
+            prev.clear();
+            continue;
+        }
+        if (iter && !iter_seen && section == "meta" && prev == "iter") {
+            try {
+                *iter = std::stoull(w);
+                iter_seen = true;
+            } catch (const std::exception &) {
+                return invalid("meta section has a non-integer 'iter'");
+            }
+        }
+        prev = w;
+    }
+    if (!ended)
+        return invalid("truncated (missing '!end' terminator)");
+    return true;
+}
+
+void
+commitCheckpointDurable(const std::string &tmpPath,
+                        const std::string &finalPath,
+                        unsigned keepGenerations)
+{
+    if (!fsyncPath(tmpPath, false))
+        fatal("cannot fsync checkpoint '", tmpPath, "': ",
+              std::strerror(errno));
+
+    // Shift the chain oldest-first (k-1 -> k) so a crash mid-rotation
+    // only ever duplicates a generation, never loses the newest.
+    const unsigned keep = keepGenerations == 0 ? 1 : keepGenerations;
+    for (unsigned k = keep - 1; k >= 1; --k) {
+        // Missing generations are normal early in a run.
+        std::rename(generationPath(finalPath, k - 1).c_str(),
+                    generationPath(finalPath, k).c_str());
+    }
+    if (std::rename(tmpPath.c_str(), finalPath.c_str()) != 0)
+        fatal("cannot publish checkpoint '", tmpPath, "' -> '", finalPath,
+              "': ", std::strerror(errno));
+
+    const std::size_t slash = finalPath.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : finalPath.substr(0, slash);
+    fsyncPath(dir.empty() ? "/" : dir, true);
+}
+
+GenerationPick
+newestValidCheckpoint(const std::string &path, unsigned keepGenerations)
+{
+    const unsigned keep = keepGenerations == 0 ? 1 : keepGenerations;
+    GenerationPick pick;
+    for (unsigned k = 0; k < keep; ++k) {
+        const std::string p = generationPath(path, k);
+        std::string why;
+        std::uint64_t iter = 0;
+        if (validateCheckpointFile(p, &why, &iter)) {
+            pick.path = p;
+            pick.generation = k;
+            pick.iter = iter;
+            return pick;
+        }
+        pick.rejected.push_back(p + ": " + why);
+    }
+    return pick;
 }
 
 } // namespace nova::sim

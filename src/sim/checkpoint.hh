@@ -15,6 +15,19 @@
  * Both sides visit state in the same deterministic order, so the
  * reader verifies every key it consumes; a mismatch means the file
  * does not belong to this configuration and is reported via fatal().
+ *
+ * Self-healing (format version 2): the writer folds every emitted
+ * token into a running CRC32 and flushes it as a `!crc <hex>` record
+ * before each section marker and once more before the terminating
+ * `!end`. The CRC covers whitespace-normalized tokens — the reader
+ * consumes the stream word-by-word, so hashing tokens (not raw bytes)
+ * keeps the check independent of separator choice. The reader verifies
+ * each record as it streams past; validateCheckpointFile() runs the
+ * same scan without needing the component visitation order, and
+ * newestValidCheckpoint() picks the newest intact file from a
+ * keep-last-K generation chain (commitCheckpointDurable() maintains
+ * the chain with atomic tmp+fsync+rename writes). Version-1 files
+ * (no integrity records) still restore, without verification.
  */
 
 #ifndef NOVA_SIM_CHECKPOINT_HH
@@ -37,7 +50,7 @@ class CheckpointWriter
   public:
     explicit CheckpointWriter(std::ostream &stream);
 
-    /** Begin a named section (a comment-like structural marker). */
+    /** Begin a named section (flushes the previous section's CRC). */
     void section(const std::string &name);
 
     void u64(const std::string &key, std::uint64_t value);
@@ -48,11 +61,20 @@ class CheckpointWriter
                 const std::vector<std::uint64_t> &values);
     void f64vec(const std::string &key, const std::vector<double> &values);
 
+    /** Flush the final section's CRC and the `!end` terminator. */
+    void finish();
+
     /** True while no stream error has occurred. */
     bool good() const { return os.good(); }
 
   private:
+    void put(const std::string &token, bool last);
+    void flushCrc();
+
     std::ostream &os;
+    std::uint32_t crc = 0xFFFFFFFFu;
+    std::uint64_t tokensSinceFlush = 0;
+    bool finished = false;
 };
 
 /** Reads records back, verifying keys match the write order. */
@@ -70,12 +92,21 @@ class CheckpointReader
     std::vector<std::uint64_t> u64vec(const std::string &key);
     std::vector<double> f64vec(const std::string &key);
 
+    /** Consume the final CRC record and the `!end` terminator. */
+    void finish();
+
   private:
-    /** Next whitespace-separated word; fatal() at end of stream. */
+    /** Next raw token straight from the stream. */
+    std::string rawWord(const std::string &context);
+    /** Next data token (verifies CRC records in passing). */
     std::string word(const std::string &context);
     void expectKey(const std::string &key);
+    void checkCrcRecord(const std::string &context);
 
     std::istream &is;
+    std::uint32_t crc = 0xFFFFFFFFu;
+    std::string curSection = "header";
+    bool legacy = false; ///< version-1 file: no integrity records
 };
 
 /**
@@ -86,6 +117,55 @@ void saveGroupStats(CheckpointWriter &w, const stats::Group &group);
 
 /** Restore scalars saved by saveGroupStats into the same group shape. */
 void restoreGroupStats(CheckpointReader &r, stats::Group &group);
+
+/**
+ * Scan a checkpoint file for integrity without knowing the component
+ * visitation order: header, every section CRC, and the `!end`
+ * terminator must all check out. Never throws.
+ *
+ * @param path the file to scan.
+ * @param why  when non-null, receives the reason a file is invalid.
+ * @param iter when non-null, receives the `iter` value of the `meta`
+ *             section (the BSP iteration the checkpoint was taken at).
+ * @return true when the file is a complete, uncorrupted checkpoint.
+ */
+bool validateCheckpointFile(const std::string &path,
+                            std::string *why = nullptr,
+                            std::uint64_t *iter = nullptr);
+
+/**
+ * Durably publish a freshly written checkpoint: fsync the temporary
+ * file, rotate the existing generation chain (`path` -> `path.1` ->
+ * ... -> `path.K-1`, dropping the oldest), rename the temporary onto
+ * `path`, and fsync the containing directory. A crash at any point
+ * leaves either the old chain or the new one — never a truncated
+ * `path`. fatal() on filesystem errors.
+ */
+void commitCheckpointDurable(const std::string &tmpPath,
+                             const std::string &finalPath,
+                             unsigned keepGenerations);
+
+/** The newest intact file of a checkpoint generation chain. */
+struct GenerationPick
+{
+    std::string path;        ///< empty when no generation is valid
+    unsigned generation = 0; ///< 0 = newest (`finalPath` itself)
+    std::uint64_t iter = 0;  ///< BSP iteration recorded in the pick
+    /** `path: reason` for each newer generation that was rejected. */
+    std::vector<std::string> rejected;
+};
+
+/**
+ * Walk the generation chain `path`, `path.1`, ... `path.K-1` and pick
+ * the newest file that passes validateCheckpointFile(). Missing files
+ * are skipped like corrupt ones (with a reason recorded).
+ */
+GenerationPick newestValidCheckpoint(const std::string &path,
+                                     unsigned keepGenerations);
+
+/** CRC32 (IEEE, poly 0xEDB88320) over a byte string; for tests. */
+std::uint32_t crc32(const void *data, std::size_t bytes,
+                    std::uint32_t seed = 0xFFFFFFFFu);
 
 } // namespace nova::sim
 

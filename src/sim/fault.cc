@@ -28,6 +28,30 @@ kindKnown(const std::string &kind)
     return false;
 }
 
+/** Permanent-failure kinds; applied once at a BSP barrier. */
+struct HardKindSpec
+{
+    const char *name;
+    HardFault::Kind kind;
+    const char *instancePrefix; ///< required @instance shape
+};
+
+const HardKindSpec hardKindSpecs[] = {
+    {"gpn.dead", HardFault::Kind::GpnDead, "gpn"},
+    {"shard.crash", HardFault::Kind::ShardCrash, "gpn"},
+    {"spill.loss", HardFault::Kind::SpillLoss, "pe"},
+    {"noc.linkdown", HardFault::Kind::LinkDown, "gpn"},
+};
+
+const HardKindSpec *
+hardKindSpec(const std::string &kind)
+{
+    for (const HardKindSpec &s : hardKindSpecs)
+        if (kind == s.name)
+            return &s;
+    return nullptr;
+}
+
 bool
 scheduleCharset(const std::string &s)
 {
@@ -109,9 +133,10 @@ parseProb(const std::string &s, double &out)
     }
 }
 
-/** Parse one schedule into actions; empty return = success. */
+/** Parse one schedule into actions + hard faults; empty = success. */
 std::string
-parseSchedule(const std::string &schedule, std::vector<FaultAction> &out)
+parseSchedule(const std::string &schedule, std::vector<FaultAction> &out,
+              std::vector<HardFault> &hard_out)
 {
     if (schedule.empty())
         return "";
@@ -131,10 +156,39 @@ parseSchedule(const std::string &schedule, std::vector<FaultAction> &out)
         action.kind = target.substr(0, at);
         if (at != std::string::npos)
             action.instancePrefix = target.substr(at + 1);
+
+        if (const HardKindSpec *spec = hardKindSpec(action.kind)) {
+            if (fields.size() != 2)
+                return "hard fault '" + entry + "' takes no mask field";
+            if (fields[1].rfind("tick=", 0) != 0)
+                return "hard fault '" + entry +
+                       "' needs a tick=<T> trigger";
+            HardFault hf;
+            hf.kind = spec->kind;
+            if (!parseU64(fields[1].substr(5), hf.atTick))
+                return "bad trigger '" + fields[1] +
+                       "' (want tick=<non-negative int>)";
+            const std::string want(spec->instancePrefix);
+            if (action.instancePrefix.rfind(want, 0) != 0 ||
+                action.instancePrefix.size() == want.size())
+                return "hard fault '" + action.kind + "' needs @" + want +
+                       "<index> (got '" + action.instancePrefix + "')";
+            std::uint64_t idx = 0;
+            if (!parseU64(action.instancePrefix.substr(want.size()), idx))
+                return "hard fault '" + action.kind + "' needs @" + want +
+                       "<index> (got '" + action.instancePrefix + "')";
+            hf.target = static_cast<std::uint32_t>(idx);
+            hard_out.push_back(hf);
+            continue;
+        }
+
         if (!kindKnown(action.kind))
             return "unknown fault kind '" + action.kind + "'";
 
         const std::string &trig = fields[1];
+        if (trig.rfind("tick=", 0) == 0)
+            return "trigger 'tick=' is only valid for hard fault kinds "
+                   "(gpn.dead, shard.crash, spill.loss, noc.linkdown)";
         if (trig.rfind("n=", 0) == 0) {
             action.trigger = FaultAction::Trigger::Nth;
             if (!parseU64(trig.substr(2), action.n) || action.n == 0)
@@ -209,13 +263,30 @@ FaultPoint::fire(std::uint64_t *mask_out)
     return true;
 }
 
+const char *
+hardFaultKindName(HardFault::Kind kind)
+{
+    switch (kind) {
+      case HardFault::Kind::GpnDead:
+        return "gpn.dead";
+      case HardFault::Kind::ShardCrash:
+        return "shard.crash";
+      case HardFault::Kind::SpillLoss:
+        return "spill.loss";
+      case HardFault::Kind::LinkDown:
+        return "noc.linkdown";
+    }
+    return "?";
+}
+
 FaultInjector::FaultInjector(std::uint64_t seed_value) : seed(seed_value) {}
 
 std::string
 FaultInjector::validateSchedule(const std::string &schedule)
 {
     std::vector<FaultAction> scratch;
-    return parseSchedule(schedule, scratch);
+    std::vector<HardFault> hard_scratch;
+    return parseSchedule(schedule, scratch, hard_scratch);
 }
 
 void
@@ -224,11 +295,13 @@ FaultInjector::configure(const std::string &schedule)
     NOVA_ASSERT(pts.empty(),
                 "FaultInjector::configure after points were registered");
     std::vector<FaultAction> parsed;
-    const std::string err = parseSchedule(schedule, parsed);
+    std::vector<HardFault> hard_parsed;
+    const std::string err = parseSchedule(schedule, parsed, hard_parsed);
     if (!err.empty())
         fatal("bad fault schedule '", schedule, "': ", err);
     scheduleText = schedule;
     actions = std::move(parsed);
+    hards = std::move(hard_parsed);
 }
 
 FaultPoint *

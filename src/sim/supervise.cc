@@ -1,0 +1,278 @@
+// novalint:allow-file(wall-clock) host-side supervision: backoff delays
+// and MTTR measurement are real time by definition; nothing here touches
+// simulated state.
+
+#include "sim/supervise.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "sim/checkpoint.hh"
+#include "sim/logging.hh"
+
+namespace nova::sim
+{
+
+namespace
+{
+
+/**
+ * Pull the failover counters out of a checkpoint's meta section. The
+ * format is token-oriented (`key value` pairs, `!crc`/`@section`
+ * markers), so a plain word scan suffices; the file already passed
+ * validateCheckpointFile, so no integrity checking here.
+ */
+void
+readFailoverMeta(const std::string &path, SuperviseResult &r)
+{
+    std::ifstream in(path);
+    if (!in.good())
+        return;
+    std::string w;
+    bool in_meta = false;
+    auto grab = [&in](std::uint64_t &out) {
+        std::string v;
+        if (in >> v)
+            out = std::strtoull(v.c_str(), nullptr, 10);
+    };
+    while (in >> w) {
+        if (w == "!crc") {
+            in >> w; // skip the stored checksum
+            continue;
+        }
+        if (!w.empty() && w[0] == '@') {
+            if (in_meta)
+                return; // meta is the first section; we are done
+            in_meta = w == "@meta";
+            continue;
+        }
+        if (!in_meta)
+            continue;
+        if (w == "migratedVertices")
+            grab(r.migratedVertices);
+        else if (w == "gpnsFailed")
+            grab(r.gpnsFailed);
+        else if (w == "linksDown")
+            grab(r.linksDown);
+        else if (w == "spillRegionsLost")
+            grab(r.spillRegionsLost);
+        else if (w == "shardCrashes")
+            grab(r.shardCrashes);
+    }
+}
+
+/** Fork + exec the child and wait for it. @return waitpid status. */
+int
+runChild(const std::vector<std::string> &argv)
+{
+    std::vector<char *> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string &a : argv)
+        cargv.push_back(const_cast<char *>(a.c_str()));
+    cargv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        fatal("supervisor: fork failed: ", std::strerror(errno));
+    if (pid == 0) {
+        ::execv(cargv[0], cargv.data());
+        // exec failed; no C++ unwinding in the forked child — report
+        // and leave with the shell's command-not-found convention.
+        std::fprintf(stderr, "supervisor: cannot exec %s: %s\n",
+                     cargv[0], std::strerror(errno));
+        ::_exit(127);
+    }
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0) {
+        if (errno != EINTR)
+            fatal("supervisor: waitpid failed: ", std::strerror(errno));
+    }
+    return status;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+} // namespace
+
+SuperviseResult
+superviseRun(const SuperviseConfig &cfg)
+{
+    NOVA_ASSERT(!cfg.childArgv.empty(), "supervisor needs a child command");
+    SuperviseResult result;
+    unsigned consecutive_crashes = 0;
+    unsigned no_progress = 0;
+    // Progress marker of the last restart: (generation path, iter).
+    // A crash that leaves the chain exactly where the previous restart
+    // found it means the run is dying at the same point every time.
+    std::string last_resume_path;
+    std::uint64_t last_resume_iter = 0;
+    bool have_marker = false;
+
+    for (unsigned attempt = 0;; ++attempt) {
+        SuperviseAttempt a;
+        a.index = attempt;
+
+        std::vector<std::string> argv = cfg.childArgv;
+        if (attempt > 0) {
+            // Restart: resume from the newest generation that passes
+            // validation (self-healing fallback), or from scratch when
+            // the chain holds nothing usable.
+            if (!cfg.checkpointPath.empty()) {
+                const GenerationPick pick = newestValidCheckpoint(
+                    cfg.checkpointPath, cfg.keepGenerations);
+                if (!pick.path.empty()) {
+                    a.resumed = true;
+                    a.resumePath = pick.path;
+                    a.generation = pick.generation;
+                    a.checkpointIter = pick.iter;
+                    // parseArgs is last-wins, so appending overrides
+                    // any --resume the original command carried.
+                    argv.push_back("--resume=" + pick.path);
+                }
+            }
+            if (have_marker && a.resumePath == last_resume_path &&
+                a.checkpointIter == last_resume_iter)
+                ++no_progress;
+            else
+                no_progress = 0;
+            last_resume_path = a.resumePath;
+            last_resume_iter = a.checkpointIter;
+            have_marker = true;
+            if (no_progress >= cfg.crashLoopWindow) {
+                result.crashLoop = true;
+                result.finalExit = exitSupervisionFailed;
+                break;
+            }
+
+            // Exponential backoff before touching the system again.
+            a.backoffMs = cfg.backoffMs > 0
+                              ? cfg.backoffMs
+                                    << std::min(consecutive_crashes - 1,
+                                                20u)
+                              : 0;
+            if (a.backoffMs > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(a.backoffMs));
+            ++result.restarts;
+            std::fprintf(stderr,
+                         "supervisor: restart %u (%s, backoff %llu ms)\n",
+                         attempt,
+                         a.resumed
+                             ? ("resume " + a.resumePath + " iter " +
+                                std::to_string(a.checkpointIter))
+                                   .c_str()
+                             : "from scratch",
+                         static_cast<unsigned long long>(a.backoffMs));
+        }
+
+        const auto t0 = std::chrono::steady_clock::now();
+        const int status = runChild(argv);
+        a.hostNanos = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        result.totalHostNanos += a.hostNanos;
+
+        if (WIFSIGNALED(status)) {
+            a.termSignal = WTERMSIG(status);
+            a.outcome = "crash";
+        } else {
+            a.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : 2;
+            a.outcome = a.exitCode == 0   ? "success"
+                        : a.exitCode == 1 ? "fatal"
+                                          : "crash";
+        }
+        result.attempts.push_back(a);
+
+        if (a.outcome == "success") {
+            result.finalExit = 0;
+            break;
+        }
+        if (a.outcome == "fatal") {
+            // User error: deterministic, restarting cannot change it.
+            result.finalExit = 1;
+            break;
+        }
+        ++consecutive_crashes;
+        if (result.restarts >= cfg.maxRestarts) {
+            result.retriesExhausted = true;
+            result.finalExit = exitSupervisionFailed;
+            break;
+        }
+    }
+
+    if (!cfg.checkpointPath.empty()) {
+        const GenerationPick pick =
+            newestValidCheckpoint(cfg.checkpointPath, cfg.keepGenerations);
+        if (!pick.path.empty())
+            readFailoverMeta(pick.path, result);
+    }
+    return result;
+}
+
+std::string
+recoveryReportJson(const SuperviseConfig &cfg,
+                   const SuperviseResult &result)
+{
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"nova-recovery-1\",\n  \"command\": [";
+    for (std::size_t i = 0; i < cfg.childArgv.size(); ++i)
+        os << (i ? ", " : "") << '"' << jsonEscape(cfg.childArgv[i])
+           << '"';
+    os << "],\n  \"checkpoint\": {\"path\": \""
+       << jsonEscape(cfg.checkpointPath)
+       << "\", \"keepGenerations\": " << cfg.keepGenerations << "},\n"
+       << "  \"finalExit\": " << result.finalExit << ",\n"
+       << "  \"restarts\": " << result.restarts << ",\n"
+       << "  \"crashLoop\": " << (result.crashLoop ? "true" : "false")
+       << ",\n  \"retriesExhausted\": "
+       << (result.retriesExhausted ? "true" : "false") << ",\n"
+       << "  \"totalHostNanos\": " << result.totalHostNanos << ",\n"
+       << "  \"failover\": {\"migratedVertices\": "
+       << result.migratedVertices
+       << ", \"gpnsFailed\": " << result.gpnsFailed
+       << ", \"linksDown\": " << result.linksDown
+       << ", \"spillRegionsLost\": " << result.spillRegionsLost
+       << ", \"shardCrashes\": " << result.shardCrashes << "},\n"
+       << "  \"attempts\": [\n";
+    for (std::size_t i = 0; i < result.attempts.size(); ++i) {
+        const SuperviseAttempt &a = result.attempts[i];
+        os << "    {\"index\": " << a.index << ", \"resumed\": "
+           << (a.resumed ? "true" : "false") << ", \"resumePath\": \""
+           << jsonEscape(a.resumePath)
+           << "\", \"generation\": " << a.generation
+           << ", \"checkpointIter\": " << a.checkpointIter
+           << ", \"backoffMs\": " << a.backoffMs
+           << ", \"hostNanos\": " << a.hostNanos
+           << ", \"exitCode\": " << a.exitCode
+           << ", \"termSignal\": " << a.termSignal << ", \"outcome\": \""
+           << a.outcome << "\"}"
+           << (i + 1 < result.attempts.size() ? "," : "") << '\n';
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+} // namespace nova::sim

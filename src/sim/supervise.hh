@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Crash-recovery supervisor: runs a simulation as a child process,
+ * classifies its exit, and restarts it from the newest valid
+ * checkpoint generation with exponential backoff until it succeeds,
+ * fails deterministically, or the retry budget is exhausted
+ * (docs/RESILIENCE.md, "Supervision").
+ *
+ * Exit classification follows the nova_cli contract:
+ *   0  success — supervision ends, final exit 0.
+ *   1  FatalError (user error) — restarting cannot help; final exit 1.
+ *   2  PanicError / unexpected exception — a crash: restart from the
+ *      newest checkpoint generation that passes validation.
+ *   signal — treated like a crash.
+ *
+ * The supervisor itself exits with code 3 (exitSupervisionFailed) when
+ * the retry budget runs out or a crash loop is detected (consecutive
+ * crashes with no forward progress in the checkpoint chain). Resume
+ * after a restart is bit-identical to an uninterrupted run — that is
+ * the checkpoint subsystem's contract, which tests/test_failover.cc
+ * and the supervise-soak campaign enforce end to end.
+ *
+ * All host-side: the supervisor never touches simulated time, and the
+ * child's determinism guarantees are what make restarts safe.
+ */
+
+#ifndef NOVA_SIM_SUPERVISE_HH
+#define NOVA_SIM_SUPERVISE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nova::sim
+{
+
+/** nova_cli/nova_supervise exit code: retries exhausted or crash loop. */
+constexpr int exitSupervisionFailed = 3;
+
+/** What the supervisor runs and how hard it tries. */
+struct SuperviseConfig
+{
+    /** Child command; argv[0] is the executable path. */
+    std::vector<std::string> childArgv;
+    /**
+     * Root of the child's checkpoint generation chain (the child's
+     * --checkpoint-file). Empty: restarts always start from scratch.
+     */
+    std::string checkpointPath;
+    /** Generations kept by the child (newest at path, then path.1...). */
+    unsigned keepGenerations = 1;
+    /** Restarts allowed after the first attempt. */
+    unsigned maxRestarts = 5;
+    /**
+     * Consecutive crashes without checkpoint-chain progress that count
+     * as a crash loop (the same barrier keeps killing the run).
+     */
+    unsigned crashLoopWindow = 3;
+    /** First restart delay; doubles per consecutive crash. 0 = none. */
+    std::uint64_t backoffMs = 100;
+    /** Machine-readable JSON recovery report (empty = not written). */
+    std::string reportPath;
+};
+
+/** One child execution, classified. */
+struct SuperviseAttempt
+{
+    unsigned index = 0;     ///< 0 = the initial attempt
+    bool resumed = false;   ///< --resume=<resumePath> was appended
+    std::string resumePath; ///< checkpoint generation restored from
+    unsigned generation = 0;
+    std::uint64_t checkpointIter = 0; ///< BSP iteration of that file
+    std::uint64_t backoffMs = 0;      ///< delay served before this run
+    std::uint64_t hostNanos = 0;      ///< child wall time
+    int exitCode = 0;
+    int termSignal = 0;  ///< nonzero when the child died on a signal
+    std::string outcome; ///< "success" | "fatal" | "crash"
+};
+
+/** The whole supervision session. */
+struct SuperviseResult
+{
+    int finalExit = 0; ///< 0, 1, or exitSupervisionFailed
+    unsigned restarts = 0;
+    bool crashLoop = false;
+    bool retriesExhausted = false;
+    std::uint64_t totalHostNanos = 0;
+    std::vector<SuperviseAttempt> attempts;
+    /**
+     * Failover counters from the newest valid checkpoint's meta
+     * section after the session ends (all zero when the child never
+     * checkpointed): migratedVertices, gpnsFailed, linksDown,
+     * spillRegionsLost, shardCrashes.
+     */
+    std::uint64_t migratedVertices = 0;
+    std::uint64_t gpnsFailed = 0;
+    std::uint64_t linksDown = 0;
+    std::uint64_t spillRegionsLost = 0;
+    std::uint64_t shardCrashes = 0;
+};
+
+/** Run the child under supervision until success, fatal, or give-up. */
+SuperviseResult superviseRun(const SuperviseConfig &cfg);
+
+/** Serialize the session as JSON (schema "nova-recovery-1"). */
+std::string recoveryReportJson(const SuperviseConfig &cfg,
+                               const SuperviseResult &result);
+
+} // namespace nova::sim
+
+#endif // NOVA_SIM_SUPERVISE_HH

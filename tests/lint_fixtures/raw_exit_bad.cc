@@ -1,0 +1,10 @@
+// Fixture: raw process termination bypasses the nova_cli exit-code
+// contract (0/1/2/3), the crash bundle, and supervisor classification.
+#include <cstdlib>
+
+void
+bail(bool bad)
+{
+    if (bad)
+        std::exit(2);
+}

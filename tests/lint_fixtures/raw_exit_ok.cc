@@ -1,0 +1,19 @@
+// Fixture: the sanctioned forms — throwing through the error types so
+// main() translates to the exit contract, or an explicit allowance at
+// a fork/exec boundary where unwinding the child is not an option.
+#include <unistd.h>
+
+[[noreturn]] void fatal(const char *what);
+
+void
+bail(bool bad)
+{
+    if (bad)
+        fatal("bad input");
+}
+
+void
+afterForkExecFailed()
+{
+    ::_exit(127); // novalint:allow(raw-exit)
+}

@@ -11,10 +11,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 
 #include "core/system.hh"
+#include "sim/checkpoint.hh"
 #include "graph/generators.hh"
 #include "graph/partition.hh"
 #include "workloads/programs.hh"
@@ -225,6 +228,140 @@ TEST(Checkpoint, CorruptFileRejected)
     }
     core::CheckpointPolicy resume;
     resume.resumePath = ckpt.path;
+    EXPECT_THROW(runPr(g, resume), sim::FatalError);
+}
+
+namespace
+{
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    return text;
+}
+
+void
+writeWholeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << text;
+    ASSERT_TRUE(os.good()) << path;
+}
+
+/** Byte offset of each line that opens a checkpoint section. */
+std::vector<std::size_t>
+sectionOffsets(const std::string &text)
+{
+    std::vector<std::size_t> at;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        if (text[pos] == '@')
+            at.push_back(pos);
+        const std::size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos)
+            break;
+        pos = nl + 1;
+    }
+    return at;
+}
+
+/** Flip the first alphanumeric character at or after `from`. */
+std::string
+bitFlipAfter(const std::string &text, std::size_t from)
+{
+    std::string bad = text;
+    for (std::size_t i = from; i < bad.size(); ++i) {
+        if (std::isalnum(static_cast<unsigned char>(bad[i]))) {
+            bad[i] = bad[i] == '0' ? '1' : '0';
+            return bad;
+        }
+    }
+    ADD_FAILURE() << "no byte to corrupt after offset " << from;
+    return bad;
+}
+
+} // namespace
+
+TEST(Checkpoint, CorruptionMatrixEverySectionDetected)
+{
+    // Truncate the file at, and flip a payload byte inside, every
+    // section of a real checkpoint: the per-section CRC (or the
+    // missing `!end`) must reject each of the mutations.
+    const graph::Csr g = testGraph();
+    ScopedFile ckpt("test_ckpt_matrix.ckpt");
+    core::CheckpointPolicy stop;
+    stop.stopAfterIters = 3;
+    stop.path = ckpt.path;
+    runPr(g, stop);
+
+    const std::string text = readWholeFile(ckpt.path);
+    ASSERT_TRUE(sim::validateCheckpointFile(ckpt.path));
+    const std::vector<std::size_t> sections = sectionOffsets(text);
+    ASSERT_GE(sections.size(), 4u) << "checkpoint has too few sections";
+
+    ScopedFile bad("test_ckpt_matrix_bad.ckpt");
+    for (std::size_t i = 0; i < sections.size(); ++i) {
+        const std::size_t at = sections[i];
+
+        writeWholeFile(bad.path, text.substr(0, at));
+        std::string why;
+        EXPECT_FALSE(sim::validateCheckpointFile(bad.path, &why))
+            << "truncation at section " << i << " undetected";
+        EXPECT_FALSE(why.empty());
+
+        // Flip a byte past the section header so its CRC goes stale.
+        const std::size_t line_end = text.find('\n', at);
+        ASSERT_NE(line_end, std::string::npos);
+        writeWholeFile(bad.path, bitFlipAfter(text, line_end + 1));
+        why.clear();
+        EXPECT_FALSE(sim::validateCheckpointFile(bad.path, &why))
+            << "bit flip in section " << i << " undetected";
+        EXPECT_FALSE(why.empty());
+    }
+
+    // The header line itself is covered too.
+    writeWholeFile(bad.path, bitFlipAfter(text, 0));
+    EXPECT_FALSE(sim::validateCheckpointFile(bad.path));
+}
+
+TEST(Checkpoint, GenerationFallbackRecoversTheRun)
+{
+    // keep-last-2 chain: corrupt the newest generation; resume must
+    // fall back to `path.1` and still finish bit-identically to an
+    // uninterrupted run.
+    const graph::Csr g = testGraph();
+    ScopedFile ckpt("test_ckpt_fallback.ckpt");
+    ScopedFile older(ckpt.path + ".1");
+
+    const PrRun whole = runPr(g, {});
+
+    core::CheckpointPolicy periodic;
+    periodic.everyIters = 2;
+    periodic.path = ckpt.path;
+    periodic.keepGenerations = 2;
+    runPr(g, periodic);
+    ASSERT_TRUE(sim::validateCheckpointFile(ckpt.path));
+    ASSERT_TRUE(sim::validateCheckpointFile(older.path));
+
+    writeWholeFile(ckpt.path, bitFlipAfter(readWholeFile(ckpt.path), 16));
+    const sim::GenerationPick pick =
+        sim::newestValidCheckpoint(ckpt.path, 2);
+    EXPECT_EQ(pick.path, older.path);
+    EXPECT_EQ(pick.generation, 1u);
+    EXPECT_EQ(pick.rejected.size(), 1u);
+
+    core::CheckpointPolicy resume;
+    resume.resumePath = ckpt.path;
+    resume.keepGenerations = 2;
+    const PrRun recovered = runPr(g, resume);
+    expectIdenticalOutcome(whole, recovered);
+
+    // With every generation corrupt the resume must refuse, loudly.
+    writeWholeFile(older.path, bitFlipAfter(readWholeFile(older.path), 16));
     EXPECT_THROW(runPr(g, resume), sim::FatalError);
 }
 

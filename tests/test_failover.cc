@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Degraded-mode failover (docs/RESILIENCE.md, "Hard faults"): a GPN
+ * that dies mid-run has its vertex slice dealt onto the survivors at
+ * the next BSP barrier, dead NoC links are routed around with a
+ * deterministic penalty, and lost spill regions degrade to recompute
+ * inserts — all without changing the converged answer, and all
+ * bit-identical across the serial and sharded schedulers and across a
+ * checkpoint/resume boundary.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "graph/generators.hh"
+#include "graph/partition.hh"
+#include "sim/logging.hh"
+#include "workloads/programs.hh"
+
+using namespace nova;
+using graph::VertexId;
+
+namespace
+{
+
+graph::Csr
+testGraph(VertexId vertices = 220, std::uint64_t edges = 1400)
+{
+    graph::UniformParams p;
+    p.numVertices = vertices;
+    p.numEdges = edges;
+    p.maxWeight = 32;
+    p.seed = 13;
+    return graph::generateUniform(p);
+}
+
+core::NovaConfig
+twoGpnConfig()
+{
+    core::NovaConfig cfg;
+    cfg.numGpns = 2;
+    cfg.pesPerGpn = 4;
+    cfg.cacheBytesPerPe = 512;
+    cfg.activeBufferEntries = 16;
+    return cfg;
+}
+
+struct PrRun
+{
+    workloads::RunResult result;
+    std::vector<double> rank;
+};
+
+PrRun
+runPr(const core::NovaConfig &cfg, const graph::Csr &g,
+      const core::CheckpointPolicy &policy = {})
+{
+    core::NovaSystem sys(cfg);
+    sys.setCheckpointPolicy(policy);
+    const auto map = graph::VertexMapping::interleave(g.numVertices(),
+                                                      cfg.totalPes());
+    workloads::PageRankProgram prog(0.85, 1e-11, 8);
+    PrRun r;
+    r.result = sys.run(prog, g, map);
+    r.rank = prog.rank();
+    return r;
+}
+
+/** Bit-exact answer parity (determinism contract within one config). */
+void
+expectSameAnswer(const PrRun &want, const PrRun &got)
+{
+    EXPECT_EQ(want.result.props, got.result.props);
+    ASSERT_EQ(want.rank.size(), got.rank.size());
+    for (std::size_t v = 0; v < want.rank.size(); ++v)
+        EXPECT_EQ(want.rank[v], got.rank[v]) << "rank of vertex " << v;
+}
+
+/**
+ * Tolerance answer parity: degraded mode changes the floating-point
+ * reduction order (migrated vertices sum in a new order), so a faulted
+ * run matches a fault-free run to rounding, not bit for bit — the same
+ * contract the differential harness enforces against the reference.
+ */
+void
+expectCloseAnswer(const PrRun &want, const PrRun &got)
+{
+    ASSERT_EQ(want.rank.size(), got.rank.size());
+    for (std::size_t v = 0; v < want.rank.size(); ++v) {
+        const double scale =
+            std::max({std::abs(want.rank[v]), std::abs(got.rank[v]), 1e-30});
+        EXPECT_LE(std::abs(want.rank[v] - got.rank[v]), 1e-9 * scale)
+            << "rank of vertex " << v;
+    }
+}
+
+struct ScopedFile
+{
+    explicit ScopedFile(std::string p) : path(std::move(p))
+    {
+        std::remove(path.c_str());
+    }
+    ~ScopedFile() { std::remove(path.c_str()); }
+    std::string path;
+};
+
+} // namespace
+
+TEST(Failover, GpnDeathMigratesWithoutChangingTheAnswer)
+{
+    const graph::Csr g = testGraph();
+    const PrRun clean = runPr(twoGpnConfig(), g);
+
+    core::NovaConfig cfg = twoGpnConfig();
+    cfg.faultSchedule = "gpn.dead@gpn1:tick=1";
+    const PrRun faulted = runPr(cfg, g);
+
+    expectCloseAnswer(clean, faulted);
+    EXPECT_EQ(faulted.result.extra.at("failover.hardFaultsApplied"), 1);
+    EXPECT_EQ(faulted.result.extra.at("failover.gpnsFailed"), 1);
+    // Interleave over 8 PEs: residues 4..7 of 220 land on GPN 1.
+    double on_gpn1 = 0;
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        if (v % 8 >= 4)
+            ++on_gpn1;
+    EXPECT_EQ(faulted.result.extra.at("failover.migratedVertices"),
+              on_gpn1);
+}
+
+TEST(Failover, GpnDeathShardedMatchesSerialBitForBit)
+{
+    const graph::Csr g = testGraph();
+
+    core::NovaConfig serial = twoGpnConfig();
+    serial.faultSchedule = "gpn.dead@gpn0:tick=1";
+    const PrRun want = runPr(serial, g);
+
+    core::NovaConfig sharded = serial;
+    sharded.threads = 2;
+    sharded.deterministicMerge = true;
+    const PrRun got = runPr(sharded, g);
+
+    expectSameAnswer(want, got);
+    EXPECT_EQ(want.result.extra.at("failover.migratedVertices"),
+              got.result.extra.at("failover.migratedVertices"));
+    EXPECT_EQ(want.result.bspIterations, got.result.bspIterations);
+}
+
+TEST(Failover, LinkDownPenaltyDeterministicAcrossSchedulers)
+{
+    const graph::Csr g = testGraph();
+
+    core::NovaConfig serial = twoGpnConfig();
+    serial.faultSchedule = "noc.linkdown@gpn1:tick=1";
+    const PrRun want = runPr(serial, g);
+    EXPECT_GT(want.result.extra.at("failover.net.reroutes"), 0);
+    EXPECT_GT(want.result.extra.at("failover.net.rerouteDelayTicks"), 0);
+
+    core::NovaConfig sharded = serial;
+    sharded.threads = 4;
+    sharded.deterministicMerge = true;
+    const PrRun got = runPr(sharded, g);
+
+    // The reroute penalty is applied at different pipeline points by
+    // the two schedulers (deliver vs uplink exit), so same-tick message
+    // interleavings — and thus FP sums — agree to rounding, while the
+    // integral penalty accounting must agree exactly.
+    expectCloseAnswer(want, got);
+    for (const char *key :
+         {"failover.net.reroutes", "failover.net.rerouteRetries",
+          "failover.net.rerouteDelayTicks", "failover.linksDown"})
+        EXPECT_EQ(want.result.extra.at(key), got.result.extra.at(key))
+            << key;
+}
+
+TEST(Failover, SpillRegionLossDegradesWithoutDataLoss)
+{
+    const graph::Csr g = testGraph();
+    const PrRun clean = runPr(twoGpnConfig(), g);
+
+    core::NovaConfig cfg = twoGpnConfig();
+    cfg.faultSchedule = "spill.loss@pe2:tick=1";
+    const PrRun faulted = runPr(cfg, g);
+
+    expectSameAnswer(clean, faulted);
+    EXPECT_EQ(faulted.result.extra.at("failover.spillRegionsLost"), 1);
+    EXPECT_GT(faulted.result.extra.at("failover.degradedInserts"), 0);
+}
+
+TEST(Failover, ResumeAcrossGpnDeathBitIdentical)
+{
+    // The hard-fault ledger rides in the checkpoint: stopping after
+    // the fault fired and resuming must replay the slice remap before
+    // component state lands, giving the uninterrupted answer exactly.
+    const graph::Csr g = testGraph();
+    ScopedFile ckpt("test_failover_resume.ckpt");
+
+    core::NovaConfig cfg = twoGpnConfig();
+    cfg.faultSchedule = "gpn.dead@gpn1:tick=1";
+    const PrRun whole = runPr(cfg, g);
+
+    core::CheckpointPolicy stop;
+    stop.stopAfterIters = 4;
+    stop.path = ckpt.path;
+    const PrRun first = runPr(cfg, g, stop);
+    EXPECT_TRUE(first.result.stoppedAtCheckpoint);
+
+    core::CheckpointPolicy resume;
+    resume.resumePath = ckpt.path;
+    const PrRun second = runPr(cfg, g, resume);
+    EXPECT_EQ(whole.result.extra, second.result.extra);
+    expectSameAnswer(whole, second);
+    EXPECT_EQ(whole.result.ticks, second.result.ticks);
+}
+
+TEST(Failover, ShardCrashForcesCheckpointThenResumeCompletes)
+{
+    // shard.crash models the worker process dying: the run force-writes
+    // a checkpoint and panics. Resuming that checkpoint sails past the
+    // (already-recorded) fault and converges to the fault-free answer.
+    const graph::Csr g = testGraph();
+    ScopedFile ckpt("test_failover_crash.ckpt");
+
+    const PrRun clean = runPr(twoGpnConfig(), g);
+
+    core::NovaConfig cfg = twoGpnConfig();
+    cfg.faultSchedule = "shard.crash@gpn0:tick=1";
+    core::CheckpointPolicy periodic;
+    periodic.everyIters = 1;
+    periodic.path = ckpt.path;
+    EXPECT_THROW(runPr(cfg, g, periodic), sim::PanicError);
+
+    core::CheckpointPolicy resume;
+    resume.resumePath = ckpt.path;
+    const PrRun second = runPr(cfg, g, resume);
+    expectSameAnswer(clean, second);
+    // The cumulative ledger rides in the checkpoint: the resumed run
+    // still reports the crash that produced it.
+    EXPECT_EQ(second.result.extra.at("failover.shardCrashes"), 1);
+}
+
+TEST(Failover, HardFaultGrammarRejectsBadSchedules)
+{
+    const graph::Csr g = testGraph();
+    for (const char *bad :
+         {"gpn.dead@gpn1",            // hard kinds need tick=
+          "gpn.dead:every=5",         // ...and a targeted instance
+          "gpn.dead@gpn9:tick=5",     // no such GPN
+          "spill.loss@pe99:tick=5"}) {
+        core::NovaConfig cfg = twoGpnConfig();
+        cfg.faultSchedule = bad;
+        EXPECT_THROW(runPr(cfg, g), sim::FatalError) << bad;
+    }
+}
+
+TEST(Failover, AllGpnsDeadIsFatal)
+{
+    const graph::Csr g = testGraph();
+    core::NovaConfig cfg = twoGpnConfig();
+    cfg.faultSchedule = "gpn.dead@gpn0:tick=1+gpn.dead@gpn1:tick=2";
+    EXPECT_THROW(runPr(cfg, g), sim::FatalError);
+}

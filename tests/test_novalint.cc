@@ -331,6 +331,27 @@ TEST(NovaLint, ReductionOrderIntegerClean)
     expectClean({"reduction_order_int_ok.cc"});
 }
 
+TEST(NovaLint, RawExitFires)
+{
+    expectSingle("raw_exit_bad.cc", "raw-exit", "std::exit(2);");
+}
+
+TEST(NovaLint, RawExitClean)
+{
+    expectClean({"raw_exit_ok.cc"});
+}
+
+TEST(NovaLint, RawExitSuperviseBoundaryExempt)
+{
+    const SourceFile f{
+        "src/sim/supervise.cc",
+        "#include <unistd.h>\n"
+        "void child() { ::_exit(127); }\n"};
+    const auto diags = lintFiles({f});
+    for (const Diagnostic &d : diags)
+        ADD_FAILURE() << nova::lint::formatDiagnostic(d);
+}
+
 TEST(NovaLint, BadAnnotationFires)
 {
     const std::string text = readFixture("bad_annotation_bad.cc");
@@ -407,13 +428,13 @@ TEST(NovaLint, DiagnosticFormat)
 TEST(NovaLint, RuleCatalogComplete)
 {
     const auto &names = nova::lint::ruleNames();
-    EXPECT_GE(names.size(), 15u);
+    EXPECT_GE(names.size(), 16u);
     const std::vector<std::string> required = {
         "capture-default", "unordered-iteration", "wall-clock", "raw-new",
         "tick-arith",      "unregistered-stat",   "using-namespace-std",
         "virtual-dtor",    "assert-side-effect",  "include-guard",
         "silent-catch",    "shard-safety",        "determinism-taint",
-        "reduction-order", "bad-annotation"};
+        "reduction-order", "bad-annotation",      "raw-exit"};
     for (const std::string &expected : required) {
         EXPECT_NE(std::find(names.begin(), names.end(), expected),
                   names.end())

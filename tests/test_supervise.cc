@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Crash-recovery supervisor unit tests with /bin/sh children: exit
+ * classification (success / fatal / crash / signal), restart budgets,
+ * crash-loop detection without checkpoint progress, and the JSON
+ * recovery report shape. End-to-end supervision of real nova_cli
+ * crashes lives in the supervise-smoke ctest and the soak campaign.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/supervise.hh"
+
+using namespace nova;
+
+namespace
+{
+
+/** A supervisor config that runs `sh -c <script>` with no backoff. */
+sim::SuperviseConfig
+shellChild(const std::string &script)
+{
+    sim::SuperviseConfig cfg;
+    cfg.childArgv = {"/bin/sh", "-c", script};
+    cfg.backoffMs = 0;
+    return cfg;
+}
+
+struct ScopedFile
+{
+    explicit ScopedFile(std::string p) : path(std::move(p))
+    {
+        std::remove(path.c_str());
+    }
+    ~ScopedFile() { std::remove(path.c_str()); }
+    std::string path;
+};
+
+} // namespace
+
+TEST(Supervise, SuccessFirstTry)
+{
+    const auto res = sim::superviseRun(shellChild("exit 0"));
+    EXPECT_EQ(res.finalExit, 0);
+    EXPECT_EQ(res.restarts, 0u);
+    ASSERT_EQ(res.attempts.size(), 1u);
+    EXPECT_EQ(res.attempts[0].outcome, "success");
+    EXPECT_FALSE(res.attempts[0].resumed);
+}
+
+TEST(Supervise, FatalIsNotRetried)
+{
+    // Exit 1 is a user error by the nova_cli contract: restarting
+    // cannot change the outcome, so the supervisor stops immediately.
+    const auto res = sim::superviseRun(shellChild("exit 1"));
+    EXPECT_EQ(res.finalExit, 1);
+    EXPECT_EQ(res.restarts, 0u);
+    ASSERT_EQ(res.attempts.size(), 1u);
+    EXPECT_EQ(res.attempts[0].outcome, "fatal");
+}
+
+TEST(Supervise, CrashOnceThenRecover)
+{
+    // First run crashes (exit 2), the restart succeeds: a marker file
+    // flips the behaviour between attempts.
+    ScopedFile marker("test_supervise_marker");
+    sim::SuperviseConfig cfg = shellChild(
+        "if [ -e " + marker.path + " ]; then exit 0; fi; "
+        "touch " + marker.path + "; exit 2");
+    cfg.crashLoopWindow = 5; // no checkpoint chain: allow no-progress
+    const auto res = sim::superviseRun(cfg);
+    EXPECT_EQ(res.finalExit, 0);
+    EXPECT_EQ(res.restarts, 1u);
+    ASSERT_EQ(res.attempts.size(), 2u);
+    EXPECT_EQ(res.attempts[0].outcome, "crash");
+    EXPECT_EQ(res.attempts[0].exitCode, 2);
+    EXPECT_EQ(res.attempts[1].outcome, "success");
+}
+
+TEST(Supervise, SignalCountsAsCrash)
+{
+    ScopedFile marker("test_supervise_sig_marker");
+    sim::SuperviseConfig cfg = shellChild(
+        "if [ -e " + marker.path + " ]; then exit 0; fi; "
+        "touch " + marker.path + "; kill -KILL $$");
+    cfg.crashLoopWindow = 5;
+    const auto res = sim::superviseRun(cfg);
+    EXPECT_EQ(res.finalExit, 0);
+    ASSERT_EQ(res.attempts.size(), 2u);
+    EXPECT_EQ(res.attempts[0].outcome, "crash");
+    EXPECT_EQ(res.attempts[0].termSignal, 9);
+}
+
+TEST(Supervise, RetriesExhaustedExitsThree)
+{
+    sim::SuperviseConfig cfg = shellChild("exit 2");
+    cfg.maxRestarts = 2;
+    cfg.crashLoopWindow = 100; // keep the loop detector out of the way
+    const auto res = sim::superviseRun(cfg);
+    EXPECT_EQ(res.finalExit, sim::exitSupervisionFailed);
+    EXPECT_TRUE(res.retriesExhausted);
+    EXPECT_FALSE(res.crashLoop);
+    EXPECT_EQ(res.restarts, 2u);
+    EXPECT_EQ(res.attempts.size(), 3u); // initial + 2 restarts
+}
+
+TEST(Supervise, CrashLoopDetectedWithoutProgress)
+{
+    // No checkpoint chain ever appears, so every crash is a
+    // no-progress crash: the window trips before the retry budget.
+    sim::SuperviseConfig cfg = shellChild("exit 2");
+    cfg.checkpointPath = "test_supervise_no_such.ckpt";
+    cfg.maxRestarts = 50;
+    cfg.crashLoopWindow = 3;
+    const auto res = sim::superviseRun(cfg);
+    EXPECT_EQ(res.finalExit, sim::exitSupervisionFailed);
+    EXPECT_TRUE(res.crashLoop);
+    EXPECT_FALSE(res.retriesExhausted);
+    EXPECT_LT(res.attempts.size(), 10u);
+}
+
+TEST(Supervise, BackoffGrowsExponentially)
+{
+    sim::SuperviseConfig cfg = shellChild("exit 2");
+    cfg.backoffMs = 1;
+    cfg.maxRestarts = 3;
+    cfg.crashLoopWindow = 100;
+    const auto res = sim::superviseRun(cfg);
+    ASSERT_EQ(res.attempts.size(), 4u);
+    EXPECT_EQ(res.attempts[0].backoffMs, 0u);
+    EXPECT_EQ(res.attempts[1].backoffMs, 1u);
+    EXPECT_EQ(res.attempts[2].backoffMs, 2u);
+    EXPECT_EQ(res.attempts[3].backoffMs, 4u);
+}
+
+TEST(Supervise, RecoveryReportShape)
+{
+    sim::SuperviseConfig cfg = shellChild("exit 2");
+    cfg.maxRestarts = 1;
+    cfg.crashLoopWindow = 100;
+    cfg.checkpointPath = "run.ckpt";
+    const auto res = sim::superviseRun(cfg);
+    const std::string doc = sim::recoveryReportJson(cfg, res);
+    for (const char *needle :
+         {"\"schema\": \"nova-recovery-1\"", "\"command\"",
+          "\"checkpoint\"", "\"finalExit\": 3", "\"restarts\": 1",
+          "\"retriesExhausted\": true", "\"failover\"",
+          "\"migratedVertices\"", "\"attempts\"",
+          "\"outcome\": \"crash\""})
+        EXPECT_NE(doc.find(needle), std::string::npos) << needle;
+}

@@ -11,6 +11,8 @@
  *   --workload=bfs|sssp|cc|pr|bc             [bfs]
  *   --graph=roadusa|twitter|friendster|host|urand
  *           |rmat:<V>:<E>|uniform:<V>:<E>|grid:<W>:<H>|file:<path>
+ *           |bin:<path>  (binary CSR container, keeps isolated
+ *                         vertices an edge list cannot express)
  *                                            [twitter]
  *   --scale=<S>      preset scale denominator          [1000]
  *   --gpns=<N>       NOVA GPN count                    [1]
@@ -45,10 +47,25 @@
  *   --resume=<p>          restore state from a checkpoint file
  *   --stop-after=<n>      checkpoint after iteration n and stop
  *   --crash-bundle=<p>    crash-bundle path       [nova_crash.txt]
+ *   --keep-generations=<k> checkpoint generations kept (newest at the
+ *                    checkpoint file, older at <file>.1 ...; resume
+ *                    falls back to the newest valid one)       [1]
+ *
+ * Supervision (docs/RESILIENCE.md, "Supervision"): with --supervise,
+ * nova_cli runs the simulation as a child process and restarts it
+ * from the newest valid checkpoint generation when it crashes:
+ *   --supervise           enable the crash-recovery supervisor
+ *   --max-restarts=<n>    restarts allowed after the first run    [5]
+ *   --backoff-ms=<n>      first restart delay, doubles per crash [100]
+ *   --crash-loop=<n>      consecutive no-progress crashes that give
+ *                         up as a crash loop                      [3]
+ *   --recovery-report=<p> write a JSON recovery report (schema
+ *                         nova-recovery-1)
  *
  * Exit codes: 0 success, 1 user error (FatalError, bad flags,
  * validation mismatch), 2 simulator bug (PanicError; a crash bundle
- * with a replay line is left behind).
+ * with a replay line is left behind), 3 supervision gave up (retries
+ * exhausted or crash loop; only with --supervise).
  *
  * Differential fuzzing subcommand (see docs/VERIFICATION.md):
  *
@@ -73,6 +90,13 @@
  *                    with {heap, calendar} x {1, N} host threads under
  *                    --deterministic-merge and require all four run
  *                    records bit-identical and reference-correct [N=4]
+ *   --soak=<N>       hard-fault supervision campaign: N supervised
+ *                    PageRank runs over fuzzed graphs covering every
+ *                    structural family, each with an injected
+ *                    permanent GPN death and shard crash at
+ *                    fuzz-chosen ticks; every campaign must restart
+ *                    at least once, fail over, resume bit-identically
+ *                    and still match the reference          [off]
  *   --verbose        print every case as it runs
  */
 
@@ -80,11 +104,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "baselines/ligra.hh"
 #include "baselines/polygraph.hh"
@@ -94,11 +121,14 @@
 #include "sim/fault.hh"
 #include "sim/logging.hh"
 #include "sim/profile.hh"
+#include "sim/random.hh"
+#include "sim/supervise.hh"
 #include "graph/graph_stats.hh"
 #include "graph/io.hh"
 #include "graph/partition.hh"
 #include "graph/presets.hh"
 #include "verify/differential.hh"
+#include "verify/fuzz.hh"
 #include "verify/replay.hh"
 #include "workloads/bc.hh"
 #include "workloads/programs.hh"
@@ -141,13 +171,15 @@ struct CliOptions
     std::string resumeFile;
     std::uint64_t stopAfter = 0;
     std::string crashBundle;
+    unsigned keepGenerations = 1;
 
     bool
     usesResilience() const
     {
         return !faultSchedule.empty() || maxTicks > 0 || maxEvents > 0 ||
                watchdogEvents > 0 || checkpointEvery > 0 ||
-               !resumeFile.empty() || stopAfter > 0;
+               !resumeFile.empty() || stopAfter > 0 ||
+               keepGenerations > 1;
     }
 };
 
@@ -221,6 +253,12 @@ parseArgs(int argc, char **argv)
             o.checkpointEvery = parseU64(v, "--checkpoint-every");
         else if (takeValue(a, "--stop-after=", v))
             o.stopAfter = parseU64(v, "--stop-after");
+        else if (takeValue(a, "--keep-generations=", v)) {
+            o.keepGenerations = static_cast<unsigned>(
+                parseU64(v, "--keep-generations"));
+            if (o.keepGenerations == 0)
+                sim::fatal("--keep-generations needs at least 1");
+        }
         else if (std::strcmp(a, "--no-validate") == 0)
             o.validate = false;
         else if (std::strcmp(a, "--stats") == 0)
@@ -260,6 +298,8 @@ makeGraph(const CliOptions &o)
     const std::string kind = s.substr(0, colon1);
     if (kind == "file")
         return graph::loadEdgeListFile(s.substr(colon1 + 1));
+    if (kind == "bin")
+        return graph::loadBinaryFile(s.substr(colon1 + 1));
     const auto colon2 = s.find(':', colon1 + 1);
     if (colon1 == std::string::npos || colon2 == std::string::npos)
         sim::fatal("bad --graph spec '", s, "'");
@@ -325,6 +365,7 @@ makeEngine(const CliOptions &o)
         ckpt.path = o.checkpointFile;
         ckpt.resumePath = o.resumeFile;
         ckpt.stopAfterIters = o.stopAfter;
+        ckpt.keepGenerations = o.keepGenerations;
         system->setCheckpointPolicy(ckpt);
         return system;
     }
@@ -388,11 +429,129 @@ printDivergences(const verify::CaseOutcome &outcome)
     }
 }
 
+/** This binary's own path, for re-exec under supervision. */
+std::string
+selfExePath(const char *argv0)
+{
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0;
+}
+
+/**
+ * Hard-fault supervision campaign (`verify --soak=N`): N supervised
+ * PageRank runs over fuzzed graphs, cycling through every structural
+ * family, each with a permanent GPN death plus a shard crash injected
+ * at fuzz-chosen ticks. The crash forces a restart; the restart must
+ * resume from the forced checkpoint, replay the failover, and finish
+ * with reference-correct results (the child validates itself). Every
+ * campaign must therefore end with exit 0 after >= 1 restart.
+ */
+int
+soakMain(const std::string &self, std::uint64_t seed,
+         std::uint64_t campaigns, bool verbose)
+{
+    std::uint64_t failures = 0, total_restarts = 0, total_migrated = 0;
+    std::uint64_t fuzz_index = 0;
+    for (std::uint64_t c = 0; c < campaigns; ++c) {
+        const auto want = static_cast<verify::GraphFamily>(
+            c % verify::numGraphFamilies);
+        verify::FuzzedGraph fg;
+        do {
+            fg = verify::fuzzCase(seed, fuzz_index++);
+        } while (fg.family != want);
+
+        // Fuzz-chosen fault ticks, early enough to strike at the first
+        // BSP barrier even on degenerate single-vertex graphs. The GPN
+        // death and the shard crash land on the same barrier: failover
+        // runs first (schedule order), then the crash checkpoints the
+        // degraded topology and kills the child.
+        sim::Rng rng(seed ^ (c * 0x9e3779b97f4a7c15ULL) ^
+                     0x50a4c0ffeeULL);
+        const std::uint64_t dead_tick = rng.nextRange(1, 60);
+        const std::uint64_t crash_tick =
+            dead_tick + rng.nextRange(1, 60);
+
+        const std::string base = "nova_soak_c" + std::to_string(c);
+        const std::string gpath = base + ".graph.bin";
+        const std::string cpath = base + ".ckpt";
+        graph::saveBinaryFile(fg.graph, gpath);
+        std::remove(cpath.c_str());
+        std::remove((cpath + ".1").c_str());
+
+        sim::SuperviseConfig scfg;
+        scfg.childArgv = {
+            self,
+            "--workload=pr",
+            "--graph=bin:" + gpath,
+            "--gpns=2",
+            "--mapping=interleave",
+            "--seed=" + std::to_string(seed + c),
+            "--checkpoint-every=1",
+            "--checkpoint-file=" + cpath,
+            "--keep-generations=2",
+            "--crash-bundle=" + base + ".crash.txt",
+            "--faults=gpn.dead@gpn1:tick=" + std::to_string(dead_tick) +
+                "+shard.crash@gpn0:tick=" + std::to_string(crash_tick),
+        };
+        scfg.checkpointPath = cpath;
+        scfg.keepGenerations = 2;
+        scfg.maxRestarts = 3;
+        scfg.crashLoopWindow = 2;
+        scfg.backoffMs = 0; // campaign throughput; backoff is tested
+                            // separately in tests/test_supervise.cc
+        const sim::SuperviseResult res = sim::superviseRun(scfg);
+
+        const bool ok = res.finalExit == 0 && res.restarts >= 1;
+        if (verbose || !ok)
+            std::printf("campaign #%llu (%s, %s): exit %d, %u "
+                        "restart(s), %llu vertex(es) migrated%s\n",
+                        static_cast<unsigned long long>(c),
+                        verify::familyName(fg.family),
+                        fg.description.c_str(), res.finalExit,
+                        res.restarts,
+                        static_cast<unsigned long long>(
+                            res.migratedVertices),
+                        ok ? "" : " FAILED");
+        if (!ok) {
+            ++failures;
+            continue; // keep the campaign's files for debugging
+        }
+        total_restarts += res.restarts;
+        total_migrated += res.migratedVertices;
+        std::remove(gpath.c_str());
+        std::remove(cpath.c_str());
+        std::remove((cpath + ".1").c_str());
+        std::remove((base + ".crash.txt").c_str());
+    }
+
+    // The campaign as a whole must have exercised slice remapping:
+    // interleaved mappings put vertices on the dead GPN whenever the
+    // graph is big enough, and the families include plenty that are.
+    const bool remapped = total_migrated > 0;
+    std::printf("soak: %llu campaigns, %llu failed, %llu restarts, "
+                "%llu vertices migrated [seed %llu]\n",
+                static_cast<unsigned long long>(campaigns),
+                static_cast<unsigned long long>(failures),
+                static_cast<unsigned long long>(total_restarts),
+                static_cast<unsigned long long>(total_migrated),
+                static_cast<unsigned long long>(seed));
+    if (!remapped)
+        std::printf("soak: FAILED — no campaign migrated any vertex "
+                    "slice\n");
+    return failures == 0 && remapped ? 0 : 1;
+}
+
 int
 verifyMain(int argc, char **argv)
 {
     std::uint64_t iterations = 100;
     std::uint64_t seed = 1;
+    std::uint64_t soak = 0;
     std::string replay_token;
     bool verbose = false;
     verify::DiffOptions opt;
@@ -402,6 +561,11 @@ verifyMain(int argc, char **argv)
         const char *a = argv[i];
         if (takeValue(a, "--fuzz=", v))
             iterations = parseU64(v, "--fuzz");
+        else if (takeValue(a, "--soak=", v)) {
+            soak = parseU64(v, "--soak");
+            if (soak == 0)
+                sim::fatal("--soak needs at least one campaign");
+        }
         else if (takeValue(a, "--seed=", v))
             seed = parseU64(v, "--seed");
         else if (takeValue(a, "--max-v=", v))
@@ -466,6 +630,9 @@ verifyMain(int argc, char **argv)
         sim::fatal("fuzzer bounds too small: need --max-v >= 8 and "
                    "--max-e >= 16");
 
+    if (soak > 0)
+        return soakMain(selfExePath(argv[0]), seed, soak, verbose);
+
     if (!replay_token.empty()) {
         verify::ReplayCase c;
         if (!verify::parseReplayToken(replay_token, c))
@@ -513,6 +680,74 @@ verifyMain(int argc, char **argv)
     return summary.ok() ? 0 : 1;
 }
 
+/**
+ * `nova_cli --supervise ...`: re-run this command as a supervised child
+ * (with the supervisor-only flags stripped), restarting it from the
+ * newest valid checkpoint generation when it crashes. Exit code is the
+ * child's final one, or sim::exitSupervisionFailed (3) on give-up.
+ */
+int
+superviseMain(int argc, char **argv)
+{
+    sim::SuperviseConfig scfg;
+    std::string ckpt_file = "nova.ckpt";
+    std::vector<std::string> child;
+    child.push_back(selfExePath(argv[0]));
+    std::string v;
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strcmp(a, "--supervise") == 0)
+            continue;
+        if (takeValue(a, "--max-restarts=", v)) {
+            scfg.maxRestarts =
+                static_cast<unsigned>(parseU64(v, "--max-restarts"));
+            continue;
+        }
+        if (takeValue(a, "--backoff-ms=", v)) {
+            scfg.backoffMs = parseU64(v, "--backoff-ms");
+            continue;
+        }
+        if (takeValue(a, "--crash-loop=", v)) {
+            scfg.crashLoopWindow =
+                static_cast<unsigned>(parseU64(v, "--crash-loop"));
+            if (scfg.crashLoopWindow == 0)
+                sim::fatal("--crash-loop needs at least 1");
+            continue;
+        }
+        if (takeValue(a, "--recovery-report=", scfg.reportPath))
+            continue;
+        // Shared with the child: the supervisor must look for fallback
+        // generations exactly where the child writes them.
+        if (takeValue(a, "--checkpoint-file=", ckpt_file)) {
+            child.push_back(a);
+            continue;
+        }
+        if (takeValue(a, "--keep-generations=", v)) {
+            scfg.keepGenerations =
+                static_cast<unsigned>(parseU64(v, "--keep-generations"));
+            child.push_back(a);
+            continue;
+        }
+        child.push_back(a);
+    }
+    scfg.checkpointPath = ckpt_file;
+    scfg.childArgv = std::move(child);
+
+    const sim::SuperviseResult res = sim::superviseRun(scfg);
+    if (!scfg.reportPath.empty()) {
+        std::ofstream os(scfg.reportPath, std::ios::trunc);
+        os << sim::recoveryReportJson(scfg, res);
+        if (!os)
+            sim::fatal("cannot write recovery report ",
+                       scfg.reportPath);
+    }
+    std::printf("supervision: exit %d after %u restart(s)%s%s\n",
+                res.finalExit, res.restarts,
+                res.crashLoop ? " (crash loop)" : "",
+                res.retriesExhausted ? " (retries exhausted)" : "");
+    return res.finalExit;
+}
+
 /** The exact command line, quoted for the crash-bundle replay line. */
 std::string
 reconstructCommand(int argc, char **argv)
@@ -535,6 +770,9 @@ cliMain(int argc, char **argv)
         --argc;
         ++argv;
     }
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--supervise") == 0)
+            return superviseMain(argc, argv);
     const CliOptions o = parseArgs(argc, argv);
     if (!o.crashBundle.empty())
         sim::crash::setBundlePath(o.crashBundle);

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * nova_supervise — run any command under the crash-recovery supervisor
+ * (docs/RESILIENCE.md, "Supervision").
+ *
+ *   nova_supervise [options] -- <command> [args...]
+ *   nova_supervise --checkpoint-file=run.ckpt --keep-generations=3 \
+ *       --recovery-report=recovery.json -- \
+ *       nova_cli --workload=pr --graph=twitter --gpns=2 \
+ *           --checkpoint-every=2 --checkpoint-file=run.ckpt \
+ *           --keep-generations=3
+ *
+ * The child is classified by the nova_cli exit contract (0 success,
+ * 1 user error, 2 crash; a signal counts as a crash). On a crash the
+ * supervisor restarts the command with `--resume=<newest valid
+ * generation>` appended, after an exponentially growing backoff.
+ *
+ * Options:
+ *   --checkpoint-file=<p>  generation chain root the child writes
+ *                          (enables resume-on-restart)   [nova.ckpt]
+ *   --keep-generations=<k> generations the child keeps        [1]
+ *   --max-restarts=<n>     restarts allowed after the first    [5]
+ *   --backoff-ms=<n>       first restart delay, doubles      [100]
+ *   --crash-loop=<n>       consecutive no-progress crashes that
+ *                          give up as a crash loop             [3]
+ *   --recovery-report=<p>  write a JSON report (nova-recovery-1)
+ *
+ * Exit codes: the child's final exit (0 or 1), or 3 when supervision
+ * gives up (retries exhausted or crash loop).
+ */
+
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/supervise.hh"
+
+using namespace nova;
+
+namespace
+{
+
+bool
+takeValue(const char *arg, const char *key, std::string &out)
+{
+    const std::size_t n = std::strlen(key);
+    if (std::strncmp(arg, key, n) == 0) {
+        out = arg + n;
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+parseU64(const std::string &text, const char *what)
+{
+    std::uint64_t value = 0;
+    const char *first = text.c_str();
+    const char *last = first + text.size();
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc() || ptr != last || text.empty())
+        sim::fatal("bad value '", text, "' for ", what);
+    return value;
+}
+
+int
+superviseMain(int argc, char **argv)
+{
+    sim::SuperviseConfig cfg;
+    cfg.checkpointPath = "nova.ckpt";
+    std::string v;
+    int i = 1;
+    for (; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strcmp(a, "--") == 0) {
+            ++i;
+            break;
+        }
+        if (takeValue(a, "--checkpoint-file=", cfg.checkpointPath) ||
+            takeValue(a, "--recovery-report=", cfg.reportPath))
+            continue;
+        if (takeValue(a, "--keep-generations=", v))
+            cfg.keepGenerations =
+                static_cast<unsigned>(parseU64(v, "--keep-generations"));
+        else if (takeValue(a, "--max-restarts=", v))
+            cfg.maxRestarts =
+                static_cast<unsigned>(parseU64(v, "--max-restarts"));
+        else if (takeValue(a, "--backoff-ms=", v))
+            cfg.backoffMs = parseU64(v, "--backoff-ms");
+        else if (takeValue(a, "--crash-loop=", v)) {
+            cfg.crashLoopWindow =
+                static_cast<unsigned>(parseU64(v, "--crash-loop"));
+            if (cfg.crashLoopWindow == 0)
+                sim::fatal("--crash-loop needs at least 1");
+        } else
+            sim::fatal("unknown option '", a,
+                       "' (see the header of tools/nova_supervise.cc)");
+    }
+    for (; i < argc; ++i)
+        cfg.childArgv.push_back(argv[i]);
+    if (cfg.childArgv.empty())
+        sim::fatal("usage: nova_supervise [options] -- <command> "
+                   "[args...]");
+    if (cfg.keepGenerations == 0)
+        sim::fatal("--keep-generations needs at least 1");
+
+    const sim::SuperviseResult res = sim::superviseRun(cfg);
+    if (!cfg.reportPath.empty()) {
+        std::ofstream os(cfg.reportPath, std::ios::trunc);
+        os << sim::recoveryReportJson(cfg, res);
+        if (!os)
+            sim::fatal("cannot write recovery report ", cfg.reportPath);
+    }
+    std::printf("supervision: exit %d after %u restart(s)%s%s\n",
+                res.finalExit, res.restarts,
+                res.crashLoop ? " (crash loop)" : "",
+                res.retriesExhausted ? " (retries exhausted)" : "");
+    return res.finalExit;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return superviseMain(argc, argv);
+    } catch (const sim::FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "internal error: %s\n", e.what());
+        return 2;
+    }
+}

@@ -158,6 +158,30 @@ ruleWallClock(std::vector<Diagnostic> &out, const PreparedFile &p)
 }
 
 /**
+ * raw-exit: direct process termination outside the supervisor. A raw
+ * exit()/abort() skips the crash bundle, the checkpoint-generation
+ * error context and the nova_cli exit-code contract (0/1/2/3) that the
+ * crash-recovery supervisor classifies restarts by — errors must
+ * travel through sim::fatal()/sim::panic() instead. Exempt:
+ * src/sim/supervise.* (the forked child's _exit after a failed exec is
+ * the one legitimate raw termination — no C++ unwinding may run in the
+ * child).
+ */
+void
+ruleRawExit(std::vector<Diagnostic> &out, const PreparedFile &p)
+{
+    if (endsWith(p.stem, "sim/supervise"))
+        return;
+    static const std::regex re(
+        R"((?:\bstd\s*::\s*)?\b(?:exit|abort|quick_exit|_Exit)\s*\()"
+        R"(|\b_exit\s*\()");
+    flagLines(out, p, re, "raw-exit",
+              "raw process termination; throw sim::fatal()/sim::panic() "
+              "so the exit-code contract, crash bundle and supervisor "
+              "classification stay intact");
+}
+
+/**
  * raw-new: raw `new` expressions. Components must be owned by
  * std::unique_ptr (std::make_unique or Simulator::create) so teardown
  * order is deterministic and leaks are impossible by construction.
@@ -1119,7 +1143,8 @@ ruleNames()
 {
     static const std::vector<std::string> names = {
         "capture-default",  "unordered-iteration", "wall-clock",
-        "raw-new",          "tick-arith",          "unregistered-stat",
+        "raw-exit",         "raw-new",             "tick-arith",
+        "unregistered-stat",
         "using-namespace-std", "virtual-dtor",     "assert-side-effect",
         "include-guard",    "silent-catch",        "shard-safety",
         "determinism-taint", "reduction-order",    "bad-annotation",
@@ -1139,6 +1164,9 @@ ruleDescription(const std::string &rule)
         {"wall-clock",
          "Nondeterministic entropy or wall-clock source outside "
          "sim::Rng"},
+        {"raw-exit",
+         "Raw exit()/abort() bypassing the exit-code contract and "
+         "crash bundle"},
         {"raw-new", "Raw new expression instead of owned allocation"},
         {"tick-arith",
          "Unchecked arithmetic on a Tick-valued expression"},
@@ -1197,6 +1225,8 @@ lintFiles(const std::vector<SourceFile> &files,
             ruleUnorderedIteration(out, u, by_path);
         if (on("wall-clock"))
             ruleWallClock(out, p);
+        if (on("raw-exit"))
+            ruleRawExit(out, p);
         if (on("raw-new"))
             ruleRawNew(out, p);
         if (on("tick-arith"))
