@@ -13,8 +13,26 @@ Modes:
       baseline. Improvements and noise inside the threshold pass.
 
   bench_compare.py --self-test
-      Prove the gate trips: synthesize a 20% regression of an embedded
-      baseline and require --compare to reject it.
+      Prove the gates trip: synthesize regressions of embedded
+      baselines and require --compare, --compare-serving and
+      --speedup to reject them.
+
+  bench_compare.py --validate-serving FILE
+      Schema-check one nova-serving-1 report (nova_cli serve): schema
+      tag, balanced offered/served/shed/pending accounting, positive
+      latency quantiles and served_qps, one entry per tenant.
+
+  bench_compare.py --compare-serving BASELINE CURRENT [--threshold 0.15]
+      Serving-latency SLO gate: fail (exit 1) when p99 latency grows
+      more than THRESHOLD, or served-queries/sec drops more than
+      THRESHOLD, relative to the baseline. Both documents are
+      simulated-time reports, so drift means the model changed — the
+      gate bounds how far a change may push tail latency.
+
+  bench_compare.py --speedup ONE_THREAD N_THREAD [--floor 1.2]
+      Sharded-scheduler scaling gate: fail when the N-thread record's
+      aggregate events/sec is below FLOOR x the 1-thread record's.
+      --floor 0 reports the speedup without gating (single-core CI).
 """
 
 import argparse
@@ -107,6 +125,110 @@ def compare(baseline, current, threshold):
     return failures
 
 
+SERVING_QUANTILE_FIELDS = ("count", "mean", "p50", "p95", "p99", "max")
+
+
+def validate_serving(doc, path="<report>"):
+    errors = []
+    if doc.get("schema") != "nova-serving-1":
+        errors.append(f"{path}: schema is {doc.get('schema')!r}, "
+                      "expected 'nova-serving-1'")
+    for field in ("offered", "served", "shed", "pending_at_end",
+                  "batches", "makespan_ticks", "tenants",
+                  "fairness_jain_x1000"):
+        if not isinstance(doc.get(field), int) or doc[field] < 0:
+            errors.append(f"{path}: {field} missing or not a "
+                          "non-negative integer")
+    if errors:
+        return errors
+    if doc["served"] <= 0:
+        errors.append(f"{path}: campaign served no queries")
+    if doc["offered"] != doc["served"] + doc["shed"] + \
+            doc["pending_at_end"]:
+        errors.append(f"{path}: offered ({doc['offered']}) != served "
+                      f"+ shed + pending_at_end")
+    if not isinstance(doc.get("served_qps"), (int, float)) or \
+            doc["served_qps"] <= 0:
+        errors.append(f"{path}: served_qps missing or non-positive")
+    lat = doc.get("latency_ticks", {})
+    for field in SERVING_QUANTILE_FIELDS:
+        if not isinstance(lat.get(field), int) or lat[field] < 0:
+            errors.append(f"{path}: latency_ticks.{field} missing or "
+                          "negative")
+    if isinstance(lat.get("count"), int) and \
+            lat.get("count") != doc["served"]:
+        errors.append(f"{path}: latency_ticks.count != served")
+    if not (0 <= doc["fairness_jain_x1000"] <= 1000):
+        errors.append(f"{path}: fairness_jain_x1000 out of [0, 1000]")
+    tenants = doc.get("per_tenant", [])
+    if len(tenants) != doc["tenants"]:
+        errors.append(f"{path}: per_tenant has {len(tenants)} "
+                      f"entries, tenants says {doc['tenants']}")
+    for t in tenants:
+        for field in ("tenant", "offered", "served", "shed",
+                      "pending"):
+            if not isinstance(t.get(field), int) or t[field] < 0:
+                errors.append(f"{path}: per_tenant[{t.get('tenant')}]"
+                              f".{field} missing or negative")
+    fp = doc.get("fingerprint", "")
+    if not (isinstance(fp, str) and fp.startswith("0x")):
+        errors.append(f"{path}: fingerprint missing or not 0x-hex")
+    return errors
+
+
+def compare_serving(baseline, current, threshold):
+    """Gate p99 latency growth and served-qps drop. Empty = pass."""
+    failures = []
+    b_p99 = baseline.get("latency_ticks", {}).get("p99")
+    c_p99 = current.get("latency_ticks", {}).get("p99")
+    b_qps = baseline.get("served_qps")
+    c_qps = current.get("served_qps")
+    if not b_p99 or c_p99 is None:
+        failures.append(f"p99 latency missing (baseline={b_p99}, "
+                        f"current={c_p99})")
+    else:
+        ratio = c_p99 / b_p99
+        print(f"{'p99 latency':<14} {b_p99:>14} {c_p99:>14} "
+              f"{ratio:>6.2f}x (lower is better)")
+        if ratio > 1.0 + threshold:
+            failures.append(
+                f"p99 latency grew {100 * (ratio - 1):.1f}% "
+                f"({b_p99} -> {c_p99} ticks), threshold "
+                f"{100 * threshold:.0f}%")
+    if not b_qps or not c_qps:
+        failures.append(f"served_qps missing (baseline={b_qps}, "
+                        f"current={c_qps})")
+    else:
+        ratio = c_qps / b_qps
+        print(f"{'served qps':<14} {b_qps:>14.0f} {c_qps:>14.0f} "
+              f"{ratio:>6.2f}x (higher is better)")
+        if ratio < 1.0 - threshold:
+            failures.append(
+                f"served-queries/sec regressed "
+                f"{100 * (1 - ratio):.1f}% ({b_qps:.0f} -> "
+                f"{c_qps:.0f}), threshold {100 * threshold:.0f}%")
+    return failures
+
+
+def compare_speedup(one_thread, n_thread, floor):
+    """Gate the sharded scheduler's scaling. Empty list = pass."""
+    failures = []
+    base = one_thread.get("aggregate", {}).get("events_per_sec")
+    cur = n_thread.get("aggregate", {}).get("events_per_sec")
+    threads = n_thread.get("aggregate", {}).get("threads")
+    if not base or not cur:
+        return [f"aggregate events_per_sec missing (1-thread={base}, "
+                f"N-thread={cur})"]
+    speedup = cur / base
+    print(f"speedup: {speedup:.2f}x at {threads:.0f} thread(s) "
+          f"({base:.0f} -> {cur:.0f} ev/s), floor {floor:.2f}x")
+    if floor > 0 and speedup < floor:
+        failures.append(
+            f"{threads:.0f}-thread aggregate speedup {speedup:.2f}x "
+            f"is below the {floor:.2f}x floor")
+    return failures
+
+
 def synthetic_record(eps):
     """A minimal structurally valid record at `eps` events/sec."""
     w = {name: {f: 1.0 for f in NUMERIC_FIELDS} for name in SUITE}
@@ -120,6 +242,28 @@ def synthetic_record(eps):
             "legacy_events_per_sec": eps, "speedup_vs_legacy": 1.0,
             "threads": 1.0,
         },
+    }
+
+
+def synthetic_serving(p99, qps, tenants=2):
+    """A minimal structurally valid nova-serving-1 report."""
+    lat = {f: 1 for f in SERVING_QUANTILE_FIELDS}
+    lat["count"] = 10
+    lat["p99"] = p99
+    return {
+        "schema": "nova-serving-1",
+        "tenants": tenants,
+        "offered": 12, "served": 10, "shed": 2, "pending_at_end": 0,
+        "batches": 5, "makespan_ticks": 1000,
+        "served_qps": qps,
+        "latency_ticks": lat,
+        "fairness_jain_x1000": 1000,
+        "per_tenant": [
+            {"tenant": t, "offered": 6, "served": 5, "shed": 1,
+             "pending": 0}
+            for t in range(tenants)
+        ],
+        "fingerprint": "0x1",
     }
 
 
@@ -144,7 +288,48 @@ def self_test():
         print("self-test: synthetic record must validate:",
               schema_errors, file=sys.stderr)
         return 1
-    print("self-test: regression gate trips as designed")
+
+    serving = synthetic_serving(p99=1000, qps=500.0)
+    if validate_serving(serving):
+        print("self-test: synthetic serving report must validate:",
+              validate_serving(serving), file=sys.stderr)
+        return 1
+    if compare_serving(serving, copy.deepcopy(serving), 0.15):
+        print("self-test: identical serving reports must pass",
+              file=sys.stderr)
+        return 1
+    slow_tail = synthetic_serving(p99=1200, qps=500.0)  # +20% p99
+    if not compare_serving(serving, slow_tail, 0.15):
+        print("self-test: a 20% p99 latency growth must fail the "
+              "15% gate", file=sys.stderr)
+        return 1
+    low_qps = synthetic_serving(p99=1000, qps=400.0)  # -20% qps
+    if not compare_serving(serving, low_qps, 0.15):
+        print("self-test: a 20% served-qps drop must fail the 15% "
+              "gate", file=sys.stderr)
+        return 1
+    better = synthetic_serving(p99=800, qps=600.0)
+    if compare_serving(serving, better, 0.15):
+        print("self-test: serving improvements must pass",
+              file=sys.stderr)
+        return 1
+
+    if compare_speedup(synthetic_record(1_000_000.0),
+                       synthetic_record(1_500_000.0), 1.2):
+        print("self-test: a 1.5x speedup must clear the 1.2x floor",
+              file=sys.stderr)
+        return 1
+    if not compare_speedup(synthetic_record(1_000_000.0),
+                           synthetic_record(1_100_000.0), 1.2):
+        print("self-test: a 1.1x speedup must miss the 1.2x floor",
+              file=sys.stderr)
+        return 1
+    if compare_speedup(synthetic_record(1_000_000.0),
+                       synthetic_record(900_000.0), 0):
+        print("self-test: --floor 0 must never gate", file=sys.stderr)
+        return 1
+
+    print("self-test: regression gates trip as designed")
     return 0
 
 
@@ -154,10 +339,19 @@ def main():
     mode.add_argument("--validate", metavar="FILE")
     mode.add_argument("--compare", nargs=2,
                       metavar=("BASELINE", "CURRENT"))
+    mode.add_argument("--validate-serving", metavar="FILE")
+    mode.add_argument("--compare-serving", nargs=2,
+                      metavar=("BASELINE", "CURRENT"))
+    mode.add_argument("--speedup", nargs=2,
+                      metavar=("ONE_THREAD", "N_THREAD"))
     mode.add_argument("--self-test", action="store_true")
     ap.add_argument("--threshold", type=float, default=0.15,
-                    help="allowed fractional events/sec drop "
+                    help="allowed fractional regression "
                          "(default 0.15)")
+    ap.add_argument("--floor", type=float, default=1.2,
+                    help="minimum N-thread/1-thread aggregate "
+                         "speedup for --speedup; 0 = report only "
+                         "(default 1.2)")
     args = ap.parse_args()
 
     if args.self_test:
@@ -170,6 +364,40 @@ def main():
         if not errors:
             print(f"{args.validate}: valid nova-bench-6 record")
         return 1 if errors else 0
+
+    if args.validate_serving:
+        errors = validate_serving(load(args.validate_serving),
+                                  args.validate_serving)
+        for e in errors:
+            print(f"error: {e}", file=sys.stderr)
+        if not errors:
+            print(f"{args.validate_serving}: valid nova-serving-1 "
+                  "report")
+        return 1 if errors else 0
+
+    if args.compare_serving:
+        baseline, current = (load(p) for p in args.compare_serving)
+        for doc, path in ((baseline, args.compare_serving[0]),
+                          (current, args.compare_serving[1])):
+            errors = validate_serving(doc, path)
+            if errors:
+                for e in errors:
+                    print(f"error: {e}", file=sys.stderr)
+                return 1
+        failures = compare_serving(baseline, current, args.threshold)
+        for f in failures:
+            print(f"REGRESSION: {f}", file=sys.stderr)
+        if not failures:
+            print("bench_compare: serving SLOs within "
+                  f"{100 * args.threshold:.0f}%")
+        return 1 if failures else 0
+
+    if args.speedup:
+        one, many = (load(p) for p in args.speedup)
+        failures = compare_speedup(one, many, args.floor)
+        for f in failures:
+            print(f"REGRESSION: {f}", file=sys.stderr)
+        return 1 if failures else 0
 
     baseline, current = (load(p) for p in args.compare)
     for doc, path in ((baseline, args.compare[0]),

@@ -12,14 +12,15 @@
 #
 # Environment:
 #   CI_LOCAL_JOBS  space-separated subset of jobs to run
-#                  (default: "build-test sanitize-lint bench-smoke")
+#                  (default: "build-test sanitize-lint bench-smoke
+#                             serving-gate")
 
 set -uo pipefail
 cd "$(dirname "$0")/.." || exit 1
 
 QUICK=0
 [[ "${1:-}" == "--quick" ]] && QUICK=1
-JOBS="${CI_LOCAL_JOBS:-build-test sanitize-lint bench-smoke}"
+JOBS="${CI_LOCAL_JOBS:-build-test sanitize-lint bench-smoke serving-gate}"
 
 pass=()
 skip=()
@@ -110,10 +111,54 @@ if [[ " ${JOBS} " == *" bench-smoke "* ]]; then
                 --threshold 0.15 || bench_ok=0
         fi
     fi
+    # 8-thread speedup, gated only with real parallelism (as in CI).
+    if [[ ${bench_ok} == 1 ]]; then
+        out8="BENCH_5.t8.ci.json"
+        BENCH_QUICK=${QUICK} BENCH_THREADS=8 \
+            scripts/bench_json.sh "${out8}" || bench_ok=0
+        if [[ ${bench_ok} == 1 ]]; then
+            cores="$(nproc)"
+            floor=0
+            [[ ${cores} -ge 4 ]] && floor=1.2
+            echo "8-thread speedup floor: ${floor}x (${cores} cores)"
+            scripts/bench_compare.py --speedup "${out}" "${out8}" \
+                --floor "${floor}" || bench_ok=0
+        fi
+    fi
     if [[ ${bench_ok} == 1 ]]; then
         pass+=("bench-smoke")
     else
         fail+=("bench-smoke")
+    fi
+fi
+
+# --- job: serving-gate -------------------------------------------------------
+if [[ " ${JOBS} " == *" serving-gate "* ]]; then
+    note "serving-gate"
+    serve_ok=1
+    s1="BENCH_7.ci.json"
+    s8="BENCH_7.t8.ci.json"
+    scripts/serving_json.sh "${s1}" || serve_ok=0
+    if [[ ${serve_ok} == 1 ]]; then
+        SERVE_THREADS=8 scripts/serving_json.sh "${s8}" || serve_ok=0
+    fi
+    if [[ ${serve_ok} == 1 ]]; then
+        if diff "${s1}" "${s8}"; then
+            echo "serving reports bit-identical at 1 and 8 threads"
+        else
+            echo "serving reports DIVERGED between thread counts"
+            serve_ok=0
+        fi
+        scripts/bench_compare.py --validate-serving "${s1}" || serve_ok=0
+        scripts/bench_compare.py --self-test >/dev/null || serve_ok=0
+        scripts/bench_compare.py \
+            --compare-serving bench/serving_baseline.json "${s1}" \
+            --threshold 0.15 || serve_ok=0
+    fi
+    if [[ ${serve_ok} == 1 ]]; then
+        pass+=("serving-gate")
+    else
+        fail+=("serving-gate")
     fi
 fi
 

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+#
+# Generate the machine-readable serving record (BENCH_7, schema
+# nova-serving-1) from the canonical multi-tenant serving campaign
+# (docs/SERVING.md, docs/CI.md).
+#
+# Usage: scripts/serving_json.sh [OUT_JSON]
+#
+# Environment:
+#   BUILD_DIR      build tree to use                       [build]
+#   SERVE_THREADS  host threads per engine dispatch (the
+#                  report is bit-identical for any value)  [1]
+#   SERVE_QUEUE    event-queue backend (calendar|legacy)   [calendar]
+#
+# The campaign is fixed (graph, arrivals, seed), so the report — down
+# to the fingerprint — must be byte-identical across hosts, thread
+# counts and queue backends. CI regenerates it at 1 and 8 threads and
+# diffs the two before gating against bench/serving_baseline.json.
+
+set -euo pipefail
+cd "$(dirname "$0")/.." || exit 1
+
+OUT="${1:-BENCH_7.json}"
+BUILD="${BUILD_DIR:-build}"
+THREADS="${SERVE_THREADS:-1}"
+QUEUE="${SERVE_QUEUE:-calendar}"
+
+if [[ ! -x "${BUILD}/tools/nova_cli" ]]; then
+    echo "serving_json.sh: building nova_cli in ${BUILD}" >&2
+    cmake -B "${BUILD}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+    cmake --build "${BUILD}" -j "$(nproc 2>/dev/null || echo 4)" \
+        --target nova_cli
+fi
+
+"${BUILD}/tools/nova_cli" serve \
+    --graph=rmat:256:1024 \
+    --arrivals=poisson:4000000 \
+    --duration=200000000 \
+    --tenants=4 \
+    --groups=2 \
+    --quota=4 \
+    --queue-cap=16 \
+    --batch-max=4 \
+    --batch-window=2000000 \
+    --seed=1 \
+    --threads="${THREADS}" \
+    --queue-impl="${QUEUE}" \
+    --report="${OUT}"
+echo "serving_json.sh: wrote ${OUT} (${THREADS} thread(s), ${QUEUE})"

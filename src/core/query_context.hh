@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The request model of the multi-tenant serving layer
+ * (docs/SERVING.md).
+ *
+ * A QueryContext is the per-query half of the FlashGraph-style split:
+ * the shared CSR is loaded once per campaign, and every admitted
+ * request materializes its own short-lived program state (frontier,
+ * property arrays, result vectors) over it. The context records the
+ * request's identity and lifecycle timestamps; the transient
+ * VertexProgram instance (workloads/queries.hh) carries the
+ * algorithmic state while the query executes.
+ */
+
+#ifndef NOVA_CORE_QUERY_CONTEXT_HH
+#define NOVA_CORE_QUERY_CONTEXT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hh"
+#include "sim/types.hh"
+
+namespace nova::core
+{
+
+/** The query kinds the serving layer multiplexes. */
+enum class QueryKind : std::uint32_t
+{
+    MsBfs = 0,   ///< multi-source BFS (nearest-seed depth)
+    Ppr = 1,     ///< personalized PageRank from one source
+    P2pSssp = 2, ///< point-to-point shortest path
+};
+
+/** Number of query kinds (the arrival generator's kind-index range). */
+constexpr std::uint32_t numQueryKinds = 3;
+
+/** Stable short name ("msbfs", "ppr", "p2p"). */
+const char *queryKindName(QueryKind kind);
+
+/**
+ * One materialized request: the arrival mapped onto concrete query
+ * parameters (sources clamped into the resident graph, per-tenant
+ * hot-set skew applied).
+ */
+struct QueryRequest
+{
+    std::uint64_t id = 0; ///< arrival index (campaign-unique)
+    std::uint32_t tenant = 0;
+    QueryKind kind = QueryKind::MsBfs;
+    /** msbfs: the seed set; ppr/p2p: seeds[0] is the source. */
+    std::vector<graph::VertexId> seeds;
+    /** p2p only: the destination vertex. */
+    graph::VertexId target = 0;
+};
+
+/**
+ * The completed lifecycle of one query, in simulated ticks. Latency is
+ * finishedAt - arrivedAt (queueing + batching delay + service).
+ */
+struct QueryRecord
+{
+    std::uint64_t id = 0;
+    std::uint32_t tenant = 0;
+    QueryKind kind = QueryKind::MsBfs;
+    sim::Tick arrivedAt = 0;
+    sim::Tick startedAt = 0;  ///< batch dispatch tick
+    sim::Tick finishedAt = 0; ///< completion tick
+    /** Engine ticks charged (incl. batch setup share and contention). */
+    sim::Tick serviceTicks = 0;
+    /** FNV-1a digest of the query answer (result vector). */
+    std::uint64_t digest = 0;
+    /** Size of the batch this query was dispatched in. */
+    std::uint32_t batchSize = 1;
+    /** True when admission dropped the query (overload shedding). */
+    bool shed = false;
+};
+
+} // namespace nova::core
+
+#endif // NOVA_CORE_QUERY_CONTEXT_HH

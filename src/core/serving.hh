@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Multi-tenant graph-query serving on the resident simulator
+ * (docs/SERVING.md).
+ *
+ * A ServingSystem turns the one-algorithm-per-run engine into a served
+ * system: a deterministic open-loop arrival process (sim/arrivals.hh)
+ * issues concurrent queries — multi-source BFS, personalized PageRank,
+ * point-to-point SSSP — against one loaded graph, and an
+ * admission/batching scheduler multiplexes the resulting query
+ * contexts onto PE groups with per-tenant quotas.
+ *
+ * Two simulation scales compose:
+ *  - The macro loop is a discrete-event simulation (one EventQueue) of
+ *    arrivals, admission, batching and completion across `groups`
+ *    parallel PE groups.
+ *  - Each dispatched query runs the real NOVA cycle model on its
+ *    group's configuration (gpnsPerGroup GPNs, sharded scheduler) to
+ *    obtain its service time in simulated ticks and a result digest.
+ *
+ * Determinism contract: the report is a pure function of the campaign
+ * configuration. Arrivals are precomputed from the seed; engine ticks
+ * are thread-count- and queue-backend-invariant (docs/PARALLEL.md);
+ * the macro loop holds only integer state and runs single-threaded.
+ * Identical seeds therefore produce bit-identical `nova-serving-1`
+ * reports across {1,2,4,8} host threads and both queue backends —
+ * `--threads` only parallelizes inside each engine dispatch.
+ */
+
+#ifndef NOVA_CORE_SERVING_HH
+#define NOVA_CORE_SERVING_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/query_context.hh"
+#include "graph/csr.hh"
+#include "sim/arrivals.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace nova::core
+{
+
+/** Configuration of one serving campaign. */
+struct ServingConfig
+{
+    /** Provenance string for the report (the --graph spec). */
+    std::string graphSpec = "rmat:256:1024";
+
+    /** Arrival process (poisson:<gap> or trace:<path>). */
+    sim::ArrivalSpec arrivals;
+    /** Seed for arrivals, parameter draws and tenant hot sets. */
+    std::uint64_t seed = 1;
+    /** Number of tenants sharing the deployment. */
+    std::uint32_t tenants = 4;
+    /** Campaign length: arrivals stop after this tick (backlog drains). */
+    sim::Tick duration = 200'000'000;
+
+    /** @{ @name Capacity and scheduling */
+    /** Parallel PE groups queries are dispatched onto. */
+    std::uint32_t groups = 2;
+    /** GPNs per group (each GPN is 8 PEs). */
+    std::uint32_t gpnsPerGroup = 1;
+    /** Host worker threads per engine dispatch (>= 1). */
+    std::uint32_t threads = 1;
+    /** Max in-flight queries per tenant (admission quota). */
+    std::uint32_t quotaPerTenant = 4;
+    /** Pending-queue cap per tenant; arrivals beyond it are shed. */
+    std::uint32_t queueCap = 16;
+    /** Max queries batched into one dispatch (same tenant + kind). */
+    std::uint32_t batchMax = 4;
+    /** Ticks a queue head may wait for batch-mates before dispatch. */
+    sim::Tick batchWindow = 2'000'000;
+    /** Fixed per-dispatch setup cost (context load) in ticks. */
+    sim::Tick setupTicks = 500;
+    /** Service-time inflation per concurrently busy other group (%). */
+    std::uint32_t contentionPct = 10;
+    /** @} */
+
+    /** @{ @name Engine (cycle-model) parameters */
+    /** Preset scale denominator for the per-dispatch NovaConfig. */
+    double scale = 1000;
+    /** Personalized-PageRank iteration budget. */
+    std::uint64_t pprIters = 8;
+    /** @} */
+
+    /** @{ @name Checkpointing (docs/SERVING.md, "Campaign resume") */
+    /** Write a checkpoint every N completed queries (0 = never). */
+    std::uint64_t ckptEvery = 0;
+    std::string ckptPath = "nova_serve.ckpt";
+    /** Restore a campaign checkpoint before serving (empty = fresh). */
+    std::string resumePath;
+    /** Checkpoint after N completed queries and stop (0 = run out). */
+    std::uint64_t stopAfter = 0;
+    unsigned keepGenerations = 1;
+    /** @} */
+};
+
+/** The outcome of a campaign. */
+struct ServingReport
+{
+    /** Canonical `nova-serving-1` JSON text (bit-identity carrier). */
+    std::string json;
+    /** FNV-1a fold over every query lifecycle, in completion order. */
+    std::uint64_t fingerprint = 0;
+
+    std::uint64_t offered = 0; ///< arrivals seen (incl. shed)
+    std::uint64_t served = 0;  ///< queries completed
+    std::uint64_t shed = 0;    ///< queries dropped by admission
+    std::uint64_t batches = 0; ///< dispatches issued
+    /** Queries still pending/in flight at the end (stopped runs). */
+    std::uint64_t pendingAtEnd = 0;
+    /** Tick of the last completion. */
+    sim::Tick makespan = 0;
+    /** True when the campaign halted at `stopAfter`. */
+    bool stopped = false;
+};
+
+/** A multi-tenant query-serving campaign over one resident graph. */
+class ServingSystem
+{
+  public:
+    /** @param g the shared resident graph; must outlive the system. */
+    ServingSystem(ServingConfig config, const graph::Csr &g);
+    ~ServingSystem();
+
+    ServingSystem(const ServingSystem &) = delete;
+    ServingSystem &operator=(const ServingSystem &) = delete;
+
+    /** Run the campaign (once per system) and build the report. */
+    ServingReport run();
+
+    /**
+     * Completed-query records in completion order. A resumed campaign
+     * only holds the records completed after the restore point.
+     */
+    const std::vector<QueryRecord> &records() const;
+
+    const ServingConfig &config() const { return cfg; }
+
+    /**
+     * The campaign's statistics tree: `serve.latency.*`,
+     * `serve.queue_depth.*`, per-tenant child groups. Valid after
+     * run().
+     */
+    const sim::stats::Group &stats() const;
+
+  private:
+    struct Impl;
+
+    ServingConfig cfg;
+    std::unique_ptr<Impl> impl;
+};
+
+} // namespace nova::core
+
+#endif // NOVA_CORE_SERVING_HH

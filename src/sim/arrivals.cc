@@ -1,0 +1,171 @@
+#include "sim/arrivals.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace nova::sim
+{
+
+ArrivalSpec
+ArrivalSpec::parse(const std::string &text)
+{
+    const auto colon = text.find(':');
+    const std::string head = text.substr(0, colon);
+    const std::string rest =
+        colon == std::string::npos ? "" : text.substr(colon + 1);
+
+    ArrivalSpec spec;
+    if (head == "poisson") {
+        spec.kind = Kind::Poisson;
+        if (rest.empty())
+            fatal("arrival spec '", text,
+                  "': poisson needs a mean gap, e.g. poisson:1000");
+        std::uint64_t gap = 0;
+        std::istringstream in(rest);
+        if (!(in >> gap) || !in.eof() || gap == 0)
+            fatal("arrival spec '", text, "': bad poisson mean gap '",
+                  rest, "' (want a positive tick count)");
+        spec.meanGap = gap;
+    } else if (head == "trace") {
+        spec.kind = Kind::Trace;
+        if (rest.empty())
+            fatal("arrival spec '", text, "': trace needs a file path");
+        spec.path = rest;
+    } else {
+        fatal("arrival spec '", text,
+              "': want poisson:<mean_gap_ticks> or trace:<path>");
+    }
+    return spec;
+}
+
+std::string
+ArrivalSpec::describe() const
+{
+    if (kind == Kind::Poisson)
+        return "poisson:" + std::to_string(meanGap);
+    return "trace:" + path;
+}
+
+namespace
+{
+
+std::uint32_t
+parseKindToken(const std::string &token, std::uint32_t num_kinds,
+               const std::string &where)
+{
+    // The well-known serving kind names, as a trace-authoring
+    // convenience; bare integers address any kind table.
+    if (token == "msbfs")
+        return 0;
+    if (token == "ppr")
+        return 1;
+    if (token == "p2p")
+        return 2;
+    std::uint64_t k = 0;
+    std::istringstream in(token);
+    if (!(in >> k) || !in.eof() || k >= num_kinds)
+        fatal(where, ": bad query kind '", token, "' (want 0..",
+              num_kinds - 1, " or msbfs/ppr/p2p)");
+    return static_cast<std::uint32_t>(k);
+}
+
+std::vector<Arrival>
+generatePoisson(const ArrivalSpec &spec, std::uint64_t seed,
+                std::uint32_t tenants, std::uint32_t num_kinds,
+                Tick duration)
+{
+    Rng rng(seed);
+    std::vector<Arrival> out;
+    Tick t = 0;
+    for (;;) {
+        const double u = rng.nextDouble();
+        const double gap_f = -std::log(1.0 - u) *
+                             static_cast<double>(spec.meanGap);
+        const auto gap = std::max<Tick>(1, static_cast<Tick>(gap_f));
+        t = tickAdd(t, gap);
+        if (t > duration)
+            break;
+        Arrival a;
+        a.at = t;
+        a.tenant = static_cast<std::uint32_t>(rng.nextBounded(tenants));
+        a.kind = static_cast<std::uint32_t>(rng.nextBounded(num_kinds));
+        a.paramA = rng.next();
+        a.paramB = rng.next();
+        out.push_back(a);
+    }
+    return out;
+}
+
+std::vector<Arrival>
+generateTrace(const ArrivalSpec &spec, std::uint64_t seed,
+              std::uint32_t tenants, std::uint32_t num_kinds,
+              Tick duration)
+{
+    std::ifstream in(spec.path);
+    if (!in)
+        fatal("arrival trace '", spec.path, "': cannot open");
+
+    Rng rng(seed);
+    std::vector<Arrival> out;
+    std::string line;
+    std::uint64_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream fields(line);
+        std::uint64_t at = 0;
+        std::uint64_t tenant = 0;
+        std::string kind_tok;
+        if (!(fields >> at))
+            continue; // blank or comment-only line
+        const std::string where =
+            spec.path + ":" + std::to_string(line_no);
+        if (!(fields >> tenant >> kind_tok))
+            fatal(where, ": want '<tick> <tenant> <kind> "
+                         "[paramA [paramB]]'");
+        if (tenant >= tenants)
+            fatal(where, ": tenant ", tenant, " out of range (campaign "
+                  "has ", tenants, " tenants)");
+        Arrival a;
+        a.at = at;
+        a.tenant = static_cast<std::uint32_t>(tenant);
+        a.kind = parseKindToken(kind_tok, num_kinds, where);
+        if (!(fields >> a.paramA))
+            a.paramA = rng.next();
+        if (!(fields >> a.paramB))
+            a.paramB = rng.next();
+        std::string trailing;
+        if (fields >> trailing)
+            fatal(where, ": trailing token '", trailing, "'");
+        if (a.at <= duration)
+            out.push_back(a);
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Arrival &x, const Arrival &y) {
+                         return x.at < y.at;
+                     });
+    return out;
+}
+
+} // namespace
+
+std::vector<Arrival>
+generateArrivals(const ArrivalSpec &spec, std::uint64_t seed,
+                 std::uint32_t tenants, std::uint32_t num_kinds,
+                 Tick duration)
+{
+    if (tenants == 0 || num_kinds == 0)
+        fatal("arrival generation needs >= 1 tenant and >= 1 query kind");
+    if (spec.kind == ArrivalSpec::Kind::Poisson)
+        return generatePoisson(spec, seed, tenants, num_kinds, duration);
+    return generateTrace(spec, seed, tenants, num_kinds, duration);
+}
+
+} // namespace nova::sim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Deterministic open-loop arrival generation for the serving layer
+ * (docs/SERVING.md).
+ *
+ * An arrival process stands in for user traffic: a seeded Poisson
+ * process ("poisson:<mean_gap_ticks>") or a replayable trace file
+ * ("trace:<path>"). Either way the whole campaign's arrival sequence
+ * is a pure function of (spec, seed, tenants, kinds, duration) —
+ * generated up front as a vector, never sampled during simulation —
+ * so identical seeds give bit-identical request streams regardless of
+ * thread count or queue backend, and a checkpoint only has to record
+ * a cursor into the sequence.
+ */
+
+#ifndef NOVA_SIM_ARRIVALS_HH
+#define NOVA_SIM_ARRIVALS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace nova::sim
+{
+
+/**
+ * One request arrival. The generator is agnostic to what a "kind"
+ * means: it draws a kind index in [0, numKinds) and two raw 64-bit
+ * parameter words; the consumer (core::ServingSystem) maps them onto
+ * query sources/targets deterministically.
+ */
+struct Arrival
+{
+    Tick at = 0;               ///< arrival time (simulated ticks)
+    std::uint32_t tenant = 0;  ///< issuing tenant, [0, tenants)
+    std::uint32_t kind = 0;    ///< query-kind index, [0, numKinds)
+    std::uint64_t paramA = 0;  ///< raw parameter (e.g. source selector)
+    std::uint64_t paramB = 0;  ///< raw parameter (e.g. target selector)
+};
+
+/** Parsed `--arrivals=` specification. */
+struct ArrivalSpec
+{
+    enum class Kind
+    {
+        Poisson, ///< exponential inter-arrival gaps, seeded
+        Trace,   ///< replay a trace file verbatim
+    };
+
+    Kind kind = Kind::Poisson;
+    /** Poisson: mean inter-arrival gap in ticks (> 0). */
+    Tick meanGap = 1000;
+    /** Trace: path of the trace file. */
+    std::string path;
+
+    /**
+     * Parse "poisson:<mean_gap_ticks>" or "trace:<path>".
+     * fatal() on malformed specs (exit-code-1 user error).
+     */
+    static ArrivalSpec parse(const std::string &text);
+
+    /** Canonical round-trip form (report provenance field). */
+    std::string describe() const;
+};
+
+/**
+ * Materialize the full arrival sequence for a campaign.
+ *
+ * Poisson: inter-arrival gaps are max(1, floor(-ln(1-u) * meanGap))
+ * with u drawn from an Rng seeded with `seed`; tenant, kind and the
+ * parameter words come from the same stream, so one seed pins the
+ * whole sequence. Trace: lines are `<tick> <tenant> <kind> [paramA
+ * [paramB]]` (kind is an integer index or one of the serving layer's
+ * names msbfs/ppr/p2p; `#` starts a comment), and `seed` only feeds
+ * the parameter words of lines that omit them.
+ *
+ * Arrivals past `duration` are dropped; the result is sorted by
+ * arrival tick (stable for equal ticks, preserving trace order).
+ */
+std::vector<Arrival> generateArrivals(const ArrivalSpec &spec,
+                                      std::uint64_t seed,
+                                      std::uint32_t tenants,
+                                      std::uint32_t numKinds,
+                                      Tick duration);
+
+} // namespace nova::sim
+
+#endif // NOVA_SIM_ARRIVALS_HH

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Re-entrant query variants of the evaluation workloads, used by the
+ * multi-tenant serving layer (docs/SERVING.md).
+ *
+ * A served query is a short-lived VertexProgram instance constructed
+ * per request over the *shared* resident graph: all per-query state
+ * (frontier, property arrays, result vectors) lives in the program
+ * object and the engine run that executes it, never in the CSR. That
+ * is the FlashGraph graph_engine / vertex_program split: one graph,
+ * many concurrent query contexts.
+ *
+ *  - MultiSourceBfsProgram: nearest-seed BFS from a set of K seeds
+ *    (the "distance to closest seed" query of label-propagation and
+ *    seed-expansion services).
+ *  - PersonalizedPageRankProgram: delta-based PageRank whose teleport
+ *    mass is concentrated on one source vertex.
+ *  - PointToPointSsspProgram: single-source shortest path queried for
+ *    one destination (the full distance map is computed; the serving
+ *    layer reads only the target's entry).
+ */
+
+#ifndef NOVA_WORKLOADS_QUERIES_HH
+#define NOVA_WORKLOADS_QUERIES_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "workloads/programs.hh"
+
+namespace nova::workloads
+{
+
+/** Nearest-seed BFS: depth from the closest of K seed vertices. */
+class MultiSourceBfsProgram : public VertexProgram
+{
+  public:
+    explicit MultiSourceBfsProgram(std::vector<graph::VertexId> seeds)
+        : srcs(std::move(seeds))
+    {
+    }
+
+    std::string name() const override { return "msbfs"; }
+    ExecMode mode() const override { return ExecMode::Async; }
+
+    std::uint64_t
+    initialProp(graph::VertexId v) const override
+    {
+        return std::find(srcs.begin(), srcs.end(), v) != srcs.end()
+                   ? 0
+                   : infProp;
+    }
+
+    std::vector<graph::VertexId>
+    initialActive() const override
+    {
+        return srcs;
+    }
+
+    std::uint64_t
+    reduce(std::uint64_t state, std::uint64_t update,
+           std::uint64_t) const override
+    {
+        return std::min(state, update);
+    }
+
+    std::uint64_t
+    propagate(std::uint64_t value, graph::Weight) const override
+    {
+        return value + 1;
+    }
+
+    const std::vector<graph::VertexId> &seeds() const { return srcs; }
+
+  private:
+    std::vector<graph::VertexId> srcs;
+};
+
+/**
+ * Personalized PageRank: the delta-based BSP scheme of
+ * PageRankProgram with all teleport mass (1 - d) on one source, so
+ * rank() measures proximity to that vertex's neighbourhood.
+ */
+class PersonalizedPageRankProgram : public VertexProgram
+{
+  public:
+    PersonalizedPageRankProgram(graph::VertexId source,
+                                double damping = 0.85,
+                                double tolerance = 1e-9,
+                                std::uint64_t max_iterations = 10)
+        : src(source), d(damping), tol(tolerance),
+          maxIters(max_iterations)
+    {
+    }
+
+    std::string name() const override { return "ppr"; }
+    ExecMode mode() const override { return ExecMode::Bsp; }
+
+    void
+    bind(const graph::Csr &g) override
+    {
+        VertexProgram::bind(g);
+        rankVec.assign(g.numVertices(), 0.0);
+        rankVec[src] = 1.0 - d;
+    }
+
+    std::uint64_t
+    initialProp(graph::VertexId v) const override
+    {
+        return packDouble(v == src ? 1.0 - d : 0.0);
+    }
+
+    std::uint64_t initialAcc(graph::VertexId) const override
+    {
+        return packDouble(0.0);
+    }
+
+    std::vector<graph::VertexId> initialActive() const override
+    {
+        return {};
+    }
+
+    /** Only the personalization source self-activates at iteration 0. */
+    std::int64_t
+    scheduledActivation(graph::VertexId v) const override
+    {
+        return v == src ? 0 : -1;
+    }
+
+    std::uint64_t
+    reduce(std::uint64_t state, std::uint64_t update,
+           std::uint64_t) const override
+    {
+        return packDouble(unpackDouble(state) + unpackDouble(update));
+    }
+
+    std::uint64_t
+    propagateValue(std::uint64_t cur, graph::VertexId v) const override
+    {
+        const auto deg = static_cast<double>(graph().degree(v));
+        const double delta = unpackDouble(cur);
+        return packDouble(deg > 0 ? d * delta / deg : 0.0);
+    }
+
+    std::uint64_t
+    propagate(std::uint64_t value, graph::Weight) const override
+    {
+        return value;
+    }
+
+    BarrierOutcome
+    bspApply(std::uint64_t, std::uint64_t acc, graph::VertexId v) override
+    {
+        const double delta = unpackDouble(acc);
+        rankVec[v] += delta;
+        BarrierOutcome out;
+        out.newCur = packDouble(delta);
+        out.newAcc = packDouble(0.0);
+        out.active = delta > tol;
+        return out;
+    }
+
+    std::uint64_t maxIterations() const override { return maxIters; }
+
+    /** The personalized rank vector (budget-limited). */
+    const std::vector<double> &rank() const { return rankVec; }
+
+    graph::VertexId source() const { return src; }
+
+  private:
+    graph::VertexId src;
+    double d;
+    double tol;
+    std::uint64_t maxIters;
+    std::vector<double> rankVec;
+};
+
+/**
+ * Point-to-point shortest path: the asynchronous SSSP engine run from
+ * `source`; the serving layer answers with the target's distance. (The
+ * cycle model has no early-exit path, so the query is charged the full
+ * single-source run — see docs/SERVING.md.)
+ */
+class PointToPointSsspProgram : public SsspProgram
+{
+  public:
+    PointToPointSsspProgram(graph::VertexId source,
+                            graph::VertexId target_vertex)
+        : SsspProgram(source), tgt(target_vertex)
+    {
+    }
+
+    std::string name() const override { return "p2p"; }
+
+    graph::VertexId target() const { return tgt; }
+
+  private:
+    graph::VertexId tgt;
+};
+
+} // namespace nova::workloads
+
+#endif // NOVA_WORKLOADS_QUERIES_HH
